@@ -1,0 +1,82 @@
+//! Criterion microbenchmarks of the simulator's building blocks:
+//! cache lookups, DRAM/bus timing, instruction-stream generation, and
+//! a whole-core cycle loop. These guard the simulator's own
+//! performance (simulation throughput), not the paper's results.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tlpsim_mem::{AccessKind, Addr, Cache, CacheConfig, MemoryConfig, MemorySystem};
+use tlpsim_uarch::{ChipConfig, CoreConfig, MultiCore, ThreadProgram};
+use tlpsim_workloads::{spec, InstrStream};
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache_access_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::new(32 * 1024, 4, 3));
+        cache.access(tlpsim_mem::LineAddr(7), false);
+        b.iter(|| black_box(cache.access(tlpsim_mem::LineAddr(7), false)));
+    });
+    c.bench_function("cache_access_stream", |b| {
+        let mut cache = Cache::new(CacheConfig::new(32 * 1024, 4, 3));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.access(tlpsim_mem::LineAddr(i), false))
+        });
+    });
+}
+
+fn bench_memory_system(c: &mut Criterion) {
+    c.bench_function("memsys_l1_hit", |b| {
+        let mut mem = MemorySystem::new(&MemoryConfig::big_core_chip(1));
+        mem.access(0, AccessKind::Load, Addr(64), 0);
+        let mut now = 1000;
+        b.iter(|| {
+            now += 1;
+            black_box(mem.access(0, AccessKind::Load, Addr(64), now))
+        });
+    });
+    c.bench_function("memsys_dram_stream", |b| {
+        let mut mem = MemorySystem::new(&MemoryConfig::big_core_chip(1));
+        let mut a = 0u64;
+        let mut now = 0;
+        b.iter(|| {
+            a += 64;
+            now += 30;
+            black_box(mem.access(0, AccessKind::Load, Addr(0x1000_0000 + a * 97), now))
+        });
+    });
+}
+
+fn bench_generator(c: &mut Criterion) {
+    c.bench_function("instr_stream_next", |b| {
+        let mut s = InstrStream::new(&spec::gcc_like(), 0, 1);
+        b.iter(|| black_box(s.next()));
+    });
+}
+
+fn bench_core_cycle(c: &mut Criterion) {
+    c.bench_function("big_core_10k_instrs", |b| {
+        b.iter(|| {
+            let chip = ChipConfig::homogeneous(1, CoreConfig::big(), 2.66);
+            let mut sim = MultiCore::new(&chip);
+            let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+                InstrStream::new(&spec::hmmer_like(), 0, 1),
+                0,
+                10_000,
+            ));
+            sim.pin(t, 0, 0);
+            sim.prewarm();
+            black_box(sim.run().expect("runs"))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_memory_system,
+    bench_generator,
+    bench_core_cycle
+);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 1: distribution of the number of active threads for the
+//! PARSEC-like benchmarks on a twenty-core processor.
+use tlpsim_core::experiments::{fig1_active_threads, FIG1_BUCKETS};
+
+fn main() {
+    tlpsim_bench::header(
+        "Figure 1",
+        "active-thread distribution, PARSEC-like on 20 cores",
+    );
+    let ctx = tlpsim_bench::ctx();
+    println!(
+        "{:20} {}",
+        "app",
+        FIG1_BUCKETS.map(|b| format!("{b:>7}")).join("")
+    );
+    for (name, buckets) in fig1_active_threads(&ctx) {
+        let row: String = buckets
+            .iter()
+            .map(|f| format!("{:>6.1}%", f * 100.0))
+            .collect();
+        println!("{name:20} {row}");
+    }
+}

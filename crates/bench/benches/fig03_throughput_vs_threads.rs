@@ -1,0 +1,12 @@
+//! Figure 3: STP vs thread count for the nine designs (SMT enabled),
+//! homogeneous and heterogeneous multi-program workloads.
+use tlpsim_core::ctx::WorkloadKind;
+use tlpsim_core::experiments::fig3_throughput;
+
+fn main() {
+    tlpsim_bench::header("Figure 3", "throughput vs thread count, nine designs");
+    let ctx = tlpsim_bench::ctx();
+    for kind in [WorkloadKind::Homogeneous, WorkloadKind::Heterogeneous] {
+        println!("{}", fig3_throughput(&ctx, kind).render());
+    }
+}

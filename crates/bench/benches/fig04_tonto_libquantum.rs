@@ -1,0 +1,20 @@
+//! Figure 4: per-benchmark STP curves for the two representative
+//! classes: tonto-like (core-bound) and libquantum-like
+//! (bandwidth-bound).
+use tlpsim_core::experiments::fig4_per_benchmark;
+use tlpsim_workloads::spec;
+
+fn main() {
+    tlpsim_bench::header("Figure 4", "tonto-like and libquantum-like classes");
+    let ctx = tlpsim_bench::ctx();
+    let tonto = spec::names()
+        .iter()
+        .position(|n| *n == "tonto_like")
+        .unwrap();
+    let libq = spec::names()
+        .iter()
+        .position(|n| *n == "libquantum_like")
+        .unwrap();
+    println!("{}", fig4_per_benchmark(&ctx, tonto).render());
+    println!("{}", fig4_per_benchmark(&ctx, libq).render());
+}

@@ -1,0 +1,9 @@
+//! Figure 5: average normalized turnaround time vs thread count
+//! (homogeneous workloads). Lower is better.
+use tlpsim_core::experiments::fig5_antt;
+
+fn main() {
+    tlpsim_bench::header("Figure 5", "ANTT vs thread count");
+    let ctx = tlpsim_bench::ctx();
+    println!("{}", fig5_antt(&ctx).render());
+}

@@ -1,0 +1,15 @@
+//! Figure 06: average performance under a uniform thread-count
+//! distribution, SMT policy: None.
+use tlpsim_core::ctx::WorkloadKind;
+use tlpsim_core::experiments::{fig6to8_uniform, SmtPolicy};
+
+fn main() {
+    tlpsim_bench::header("Figure 06", "uniform distribution, SMT policy None");
+    let ctx = tlpsim_bench::ctx();
+    for kind in [WorkloadKind::Homogeneous, WorkloadKind::Heterogeneous] {
+        let bars = fig6to8_uniform(&ctx, kind, SmtPolicy::None);
+        println!("{}", bars.render());
+        let (best, v) = bars.best();
+        println!("best: {best} ({v:.3})\n");
+    }
+}

@@ -1,0 +1,18 @@
+//! Figure 07: average performance under a uniform thread-count
+//! distribution, SMT policy: HomogeneousOnly.
+use tlpsim_core::ctx::WorkloadKind;
+use tlpsim_core::experiments::{fig6to8_uniform, SmtPolicy};
+
+fn main() {
+    tlpsim_bench::header(
+        "Figure 07",
+        "uniform distribution, SMT policy HomogeneousOnly",
+    );
+    let ctx = tlpsim_bench::ctx();
+    for kind in [WorkloadKind::Homogeneous, WorkloadKind::Heterogeneous] {
+        let bars = fig6to8_uniform(&ctx, kind, SmtPolicy::HomogeneousOnly);
+        println!("{}", bars.render());
+        let (best, v) = bars.best();
+        println!("best: {best} ({v:.3})\n");
+    }
+}

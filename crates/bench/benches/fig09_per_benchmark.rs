@@ -1,0 +1,13 @@
+//! Figure 9: per-benchmark uniform-distribution performance (SMT in
+//! all designs, homogeneous workloads).
+use tlpsim_core::experiments::fig9_per_benchmark;
+
+fn main() {
+    tlpsim_bench::header("Figure 9", "per-benchmark uniform-distribution STP");
+    let ctx = tlpsim_bench::ctx();
+    for (name, bars) in fig9_per_benchmark(&ctx) {
+        let (best, _) = bars.best();
+        println!("{}  -> best: {best}", bars.render());
+        let _ = name;
+    }
+}

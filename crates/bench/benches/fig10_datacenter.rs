@@ -1,0 +1,13 @@
+//! Figure 10: average performance under the datacenter and mirrored
+//! datacenter thread-count distributions.
+use tlpsim_core::experiments::fig10_datacenter;
+
+fn main() {
+    tlpsim_bench::header("Figure 10", "datacenter distributions");
+    let ctx = tlpsim_bench::ctx();
+    for (dist, smt, bars) in fig10_datacenter(&ctx) {
+        println!("{}", bars.render());
+        let (best, v) = bars.best();
+        println!("[{dist}, SMT={smt}] best: {best} ({v:.3})\n");
+    }
+}

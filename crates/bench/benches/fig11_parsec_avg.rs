@@ -1,0 +1,37 @@
+//! Figure 11: average normalized speedup for the PARSEC-like
+//! benchmarks (ROI-only and whole-program, without and with SMT).
+use tlpsim_core::experiments::{fig11_12_parsec, parsec_design_columns};
+
+fn main() {
+    tlpsim_bench::header("Figure 11", "PARSEC-like average speedups");
+    let ctx = tlpsim_bench::ctx();
+    let cols: Vec<String> = parsec_design_columns()
+        .iter()
+        .map(|d| d.name.clone())
+        .collect();
+    for (roi, label) in [(true, "ROI only"), (false, "whole program")] {
+        let rows = fig11_12_parsec(&ctx, roi, 8.0);
+        let avg = rows.last().unwrap();
+        println!("--- {label} ---");
+        println!(
+            "{:>10} | {}",
+            "",
+            cols.iter().map(|c| format!("{c:>8}")).collect::<String>()
+        );
+        let (no_smt, smt) = avg.1.split_at(cols.len());
+        println!(
+            "{:>10} | {}",
+            "no SMT",
+            no_smt
+                .iter()
+                .map(|v| format!("{v:>8.3}"))
+                .collect::<String>()
+        );
+        println!(
+            "{:>10} | {}",
+            "SMT",
+            smt.iter().map(|v| format!("{v:>8.3}")).collect::<String>()
+        );
+        println!();
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 12: per-benchmark normalized speedups for the PARSEC-like
+//! applications (SMT enabled).
+use tlpsim_core::experiments::{fig11_12_parsec, parsec_design_columns};
+
+fn main() {
+    tlpsim_bench::header("Figure 12", "PARSEC-like per-benchmark speedups");
+    let ctx = tlpsim_bench::ctx();
+    let cols: Vec<String> = parsec_design_columns()
+        .iter()
+        .map(|d| d.name.clone())
+        .collect();
+    for (roi, label) in [(true, "ROI only"), (false, "whole program")] {
+        println!("--- {label} (with SMT) ---");
+        println!(
+            "{:22} {}",
+            "app",
+            cols.iter().map(|c| format!("{c:>8}")).collect::<String>()
+        );
+        for (name, vals) in fig11_12_parsec(&ctx, roi, 8.0) {
+            let smt_vals = &vals[cols.len()..];
+            println!(
+                "{name:22} {}",
+                smt_vals
+                    .iter()
+                    .map(|v| format!("{v:>8.3}"))
+                    .collect::<String>()
+            );
+        }
+        println!();
+    }
+}

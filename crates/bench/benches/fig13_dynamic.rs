@@ -1,0 +1,12 @@
+//! Figure 13: 4B with SMT versus the ideal dynamic (core-fusion)
+//! multi-core with and without SMT.
+use tlpsim_core::ctx::WorkloadKind;
+use tlpsim_core::experiments::fig13_dynamic;
+
+fn main() {
+    tlpsim_bench::header("Figure 13", "4B+SMT vs ideal dynamic multi-core");
+    let ctx = tlpsim_bench::ctx();
+    for kind in [WorkloadKind::Homogeneous, WorkloadKind::Heterogeneous] {
+        println!("{}", fig13_dynamic(&ctx, kind).render());
+    }
+}

@@ -1,0 +1,8 @@
+//! Figure 14: chip power vs thread count with idle cores power-gated.
+use tlpsim_core::experiments::fig14_power;
+
+fn main() {
+    tlpsim_bench::header("Figure 14", "power vs thread count (power gating)");
+    let ctx = tlpsim_bench::ctx();
+    println!("{}", fig14_power(&ctx).render());
+}

@@ -1,0 +1,26 @@
+//! Figure 15: throughput vs power and energy; Pareto frontier and EDP.
+use tlpsim_core::experiments::fig15_power_perf;
+
+fn main() {
+    tlpsim_bench::header("Figure 15", "power/energy vs performance (uniform dist)");
+    let ctx = tlpsim_bench::ctx();
+    let pts = fig15_power_perf(&ctx);
+    println!(
+        "{:>8} {:>8} {:>9} {:>12} {:>9}",
+        "design", "perf", "power(W)", "energy(norm)", "EDP(norm)"
+    );
+    for p in &pts {
+        println!(
+            "{:>8} {:>8.3} {:>9.1} {:>12.3} {:>9.3}",
+            p.design, p.perf, p.power_w, p.energy_norm, p.edp_norm
+        );
+    }
+    let best_edp = pts
+        .iter()
+        .min_by(|a, b| a.edp_norm.partial_cmp(&b.edp_norm).unwrap())
+        .unwrap();
+    println!(
+        "\nminimum-EDP design: {} ({:.3} vs 4B)",
+        best_edp.design, best_edp.edp_norm
+    );
+}

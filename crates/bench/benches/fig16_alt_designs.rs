@@ -1,0 +1,12 @@
+//! Figure 16: larger-cache and higher-frequency variants of the
+//! medium/small-core designs (multi-threaded ROI speedups).
+use tlpsim_core::experiments::fig16_alt_designs;
+
+fn main() {
+    tlpsim_bench::header("Figure 16", "alternative multi-core designs");
+    let ctx = tlpsim_bench::ctx();
+    let bars = fig16_alt_designs(&ctx);
+    println!("{}", bars.render());
+    let (best, v) = bars.best();
+    println!("best: {best} ({v:.3})");
+}

@@ -1,0 +1,35 @@
+//! Figure 17: all headline comparisons at 16 GB/s memory bandwidth.
+use tlpsim_core::experiments::{fig17_high_bandwidth, parsec_design_columns};
+
+fn main() {
+    tlpsim_bench::header("Figure 17", "16 GB/s memory bandwidth");
+    let ctx = tlpsim_bench::ctx();
+    let (homog, heterog, parsec) = fig17_high_bandwidth(&ctx);
+    println!("{}", homog.render());
+    println!("{}", heterog.render());
+    let cols: Vec<String> = parsec_design_columns()
+        .iter()
+        .map(|d| d.name.clone())
+        .collect();
+    let avg = parsec.last().unwrap();
+    let (no_smt, smt) = avg.1.split_at(cols.len());
+    println!("PARSEC-like ROI average speedups at 16 GB/s:");
+    println!(
+        "{:>10} | {}",
+        "",
+        cols.iter().map(|c| format!("{c:>8}")).collect::<String>()
+    );
+    println!(
+        "{:>10} | {}",
+        "no SMT",
+        no_smt
+            .iter()
+            .map(|v| format!("{v:>8.3}"))
+            .collect::<String>()
+    );
+    println!(
+        "{:>10} | {}",
+        "SMT",
+        smt.iter().map(|v| format!("{v:>8.3}")).collect::<String>()
+    );
+}

@@ -1,0 +1,26 @@
+//! Table 1 + Figure 2: the core configurations and the nine
+//! power-equivalent designs.
+use tlpsim_core::configs::{nine_designs, table1_rows};
+
+fn main() {
+    tlpsim_bench::header("Table 1", "big, medium and small core configurations");
+    for row in table1_rows() {
+        println!("{row}");
+    }
+    println!("\n=== Figure 2: the nine power-equivalent designs ===");
+    println!(
+        "{:>6} {:>4} {:>7} {:>6} {:>6} {:>9}",
+        "name", "big", "medium", "small", "cores", "contexts"
+    );
+    for d in nine_designs() {
+        println!(
+            "{:>6} {:>4} {:>7} {:>6} {:>6} {:>9}",
+            d.name,
+            d.big,
+            d.medium,
+            d.small,
+            d.cores(),
+            d.contexts()
+        );
+    }
+}

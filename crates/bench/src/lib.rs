@@ -1,0 +1,58 @@
+//! Shared plumbing for the per-figure benchmark harness.
+//!
+//! Every `benches/figNN_*.rs` target is a plain `fn main()`
+//! (`harness = false`) that regenerates one table or figure of the
+//! paper and prints the same rows/series the paper plots. Absolute
+//! numbers differ from the paper's testbed (this is a scaled synthetic
+//! reproduction; see DESIGN.md), but the shape — who wins, by roughly
+//! what factor, where the crossovers fall — is the reproduction target
+//! and is recorded in EXPERIMENTS.md.
+//!
+//! Scale is controlled by the `TLPSIM_SCALE` environment variable:
+//! `standard` (large windows) or `quick` (the default and the
+//! EXPERIMENTS.md scale).
+
+use tlpsim_core::ctx::Ctx;
+use tlpsim_core::SimScale;
+
+/// Read the simulation scale from `TLPSIM_SCALE`: `standard` for the
+/// larger measurement windows, anything else (default) for `quick`.
+/// The default is quick because the full figure set is thousands of
+/// simulated chips and reference hosts may be single-core.
+pub fn scale_from_env() -> SimScale {
+    match std::env::var("TLPSIM_SCALE").as_deref() {
+        Ok("standard") => SimScale::standard(),
+        _ => SimScale::quick(),
+    }
+}
+
+/// Build the experiment context: scale from `TLPSIM_SCALE`, disk-backed
+/// result cache at `TLPSIM_CACHE` (default `target/tlpsim-cache.txt`)
+/// so the per-figure bench processes share simulation work.
+pub fn ctx() -> Ctx {
+    let path =
+        std::env::var("TLPSIM_CACHE").unwrap_or_else(|_| "target/tlpsim-cache.txt".to_string());
+    Ctx::with_disk_cache(scale_from_env(), path)
+}
+
+/// Print the standard harness header for figure `name`.
+pub fn header(name: &str, what: &str) {
+    println!("=== {name}: {what} ===");
+    println!(
+        "(scaled synthetic reproduction; shapes comparable to the paper, absolutes are not)\n"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_quick() {
+        // Only check the default path; the env-var path is exercised by
+        // the bench targets themselves.
+        if std::env::var("TLPSIM_SCALE").is_err() {
+            assert_eq!(scale_from_env(), SimScale::quick());
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Regenerate every figure in one process (maximum cache reuse).
+//! Output doubles as the data source for EXPERIMENTS.md.
+use tlpsim_core::configs;
+use tlpsim_core::ctx::{Ctx, WorkloadKind};
+use tlpsim_core::experiments::*;
+use tlpsim_core::SimScale;
+
+fn main() {
+    let ctx = Ctx::with_disk_cache(SimScale::quick(), "target/tlpsim-cache.txt");
+    println!("### Table 1 / Figure 2");
+    for r in configs::table1_rows() {
+        println!("{r}");
+    }
+    for d in configs::nine_designs() {
+        println!(
+            "{:>6}: {}B {}m {}s ({} contexts)",
+            d.name,
+            d.big,
+            d.medium,
+            d.small,
+            d.contexts()
+        );
+    }
+
+    // Multi-program sweeps first (fig 3-10, 13-15 share cells).
+    for kind in [WorkloadKind::Homogeneous, WorkloadKind::Heterogeneous] {
+        println!(
+            "\n### Figure 3 ({kind:?})\n{}",
+            fig3_throughput(&ctx, kind).render()
+        );
+    }
+    let tonto = 3usize;
+    let libq = 10usize;
+    println!(
+        "\n### Figure 4\n{}\n{}",
+        fig4_per_benchmark(&ctx, tonto).render(),
+        fig4_per_benchmark(&ctx, libq).render()
+    );
+    println!("\n### Figure 5\n{}", fig5_antt(&ctx).render());
+    for kind in [WorkloadKind::Homogeneous, WorkloadKind::Heterogeneous] {
+        for policy in [SmtPolicy::None, SmtPolicy::HomogeneousOnly, SmtPolicy::All] {
+            let b = fig6to8_uniform(&ctx, kind, policy);
+            let (best, v) = b.best();
+            println!(
+                "\n### Figures 6-8 ({kind:?}, {policy:?}) best={best} ({v:.3})\n{}",
+                b.render()
+            );
+        }
+    }
+    println!("\n### Figure 9");
+    for (name, bars) in fig9_per_benchmark(&ctx) {
+        let (best, _) = bars.best();
+        println!(
+            "{name:18} best={best:8} {}",
+            bars.bars
+                .iter()
+                .map(|(l, v)| format!("{l}={v:.2} "))
+                .collect::<String>()
+        );
+    }
+    println!("\n### Figure 10");
+    for (dist, smt, bars) in fig10_datacenter(&ctx) {
+        let (best, v) = bars.best();
+        println!("[{dist} smt={smt}] best={best} ({v:.3})\n{}", bars.render());
+    }
+    for kind in [WorkloadKind::Homogeneous, WorkloadKind::Heterogeneous] {
+        println!(
+            "\n### Figure 13 ({kind:?})\n{}",
+            fig13_dynamic(&ctx, kind).render()
+        );
+    }
+    println!("\n### Figure 14\n{}", fig14_power(&ctx).render());
+    println!("\n### Figure 15");
+    for p in fig15_power_perf(&ctx) {
+        println!(
+            "{:>8} perf={:.3} power={:.1}W energy_norm={:.3} edp_norm={:.3}",
+            p.design, p.perf, p.power_w, p.energy_norm, p.edp_norm
+        );
+    }
+
+    // PARSEC-based figures.
+    println!("\n### Figure 1");
+    for (name, b) in fig1_active_threads(&ctx) {
+        println!(
+            "{name:22} {}",
+            b.iter()
+                .map(|f| format!("{:>6.1}%", f * 100.0))
+                .collect::<String>()
+        );
+    }
+    let cols: Vec<String> = parsec_design_columns()
+        .iter()
+        .map(|d| d.name.clone())
+        .collect();
+    for (roi, label) in [(true, "ROI"), (false, "whole")] {
+        println!("\n### Figures 11/12 ({label})");
+        println!("{:22} noSMT: {:?}  SMT: (same order)", "app", cols);
+        for (name, vals) in fig11_12_parsec(&ctx, roi, 8.0) {
+            println!(
+                "{name:22} {}",
+                vals.iter().map(|v| format!("{v:>7.3}")).collect::<String>()
+            );
+        }
+    }
+    println!("\n### Figure 16\n{}", fig16_alt_designs(&ctx).render());
+    println!("\n### Figure 17");
+    let (h, x, p16) = fig17_high_bandwidth(&ctx);
+    println!("{}\n{}", h.render(), x.render());
+    for (name, vals) in &p16[p16.len() - 1..] {
+        println!(
+            "parsec avg 16GB/s {name}: {}",
+            vals.iter().map(|v| format!("{v:>7.3}")).collect::<String>()
+        );
+    }
+    println!("\nDONE");
+}

@@ -1,0 +1,23 @@
+//! Timing probe for design-space cells (used to size the benches).
+use std::time::Instant;
+use tlpsim_core::configs::by_name;
+use tlpsim_core::ctx::{Ctx, WorkloadKind};
+use tlpsim_core::SimScale;
+
+fn main() {
+    let ctx = Ctx::new(SimScale::quick());
+    for dn in ["4B", "20s"] {
+        let d = by_name(dn).unwrap();
+        for smt in [true, false] {
+            for n in [8usize, 24] {
+                let t0 = Instant::now();
+                let c = ctx.mp_cell(&d, n, WorkloadKind::Heterogeneous, smt);
+                println!(
+                    "{dn} smt={smt} n={n}: {:?} stp={:.2}",
+                    t0.elapsed(),
+                    c.mean_stp()
+                );
+            }
+        }
+    }
+}

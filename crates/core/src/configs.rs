@@ -1,0 +1,224 @@
+//! The power-equivalent multi-core design points (Figure 2, Table 1)
+//! and the Section 8 variants.
+
+use tlpsim_mem::{BusConfig, CacheConfig, PrivateCacheConfig};
+use tlpsim_uarch::{ChipConfig, CoreConfig};
+
+/// One multi-core design point: a named mix of big/medium/small cores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Design {
+    /// Paper name, e.g. `"3B5s"`.
+    pub name: String,
+    /// Number of big cores.
+    pub big: usize,
+    /// Number of medium cores.
+    pub medium: usize,
+    /// Number of small cores.
+    pub small: usize,
+    /// Clock frequency in GHz (2.66 except the `_hf` variants).
+    pub freq_ghz: f64,
+    /// Give medium/small cores big-core cache capacities (`_lc`).
+    pub large_caches: bool,
+}
+
+impl Design {
+    fn new(name: &str, big: usize, medium: usize, small: usize) -> Self {
+        Design {
+            name: name.to_string(),
+            big,
+            medium,
+            small,
+            freq_ghz: 2.66,
+            large_caches: false,
+        }
+    }
+
+    /// Total core count.
+    pub fn cores(&self) -> usize {
+        self.big + self.medium + self.small
+    }
+
+    /// Total SMT thread contexts (6 per big, 3 per medium, 2 per small).
+    pub fn contexts(&self) -> usize {
+        self.big * 6 + self.medium * 3 + self.small * 2
+    }
+
+    /// Whether all cores are of one type.
+    pub fn is_homogeneous(&self) -> bool {
+        [self.big, self.medium, self.small]
+            .iter()
+            .filter(|&&c| c > 0)
+            .count()
+            == 1
+    }
+
+    /// Build the simulator chip for this design.
+    ///
+    /// `smt` enables the SMT contexts of Table 1; without it every core
+    /// exposes one context (surplus threads time-share). The off-chip
+    /// bus defaults to 8 GB/s; pass 16.0 for the Section 8.2 study.
+    pub fn chip(&self, smt: bool, bus_gbps: f64) -> ChipConfig {
+        let mut cores = Vec::new();
+        cores.extend(std::iter::repeat_n(CoreConfig::big(), self.big));
+        cores.extend(std::iter::repeat_n(CoreConfig::medium(), self.medium));
+        cores.extend(std::iter::repeat_n(CoreConfig::small(), self.small));
+        let mut chip = ChipConfig::heterogeneous(&cores, self.freq_ghz);
+        if self.large_caches {
+            for (cfg, pc) in cores.iter().zip(chip.memory.per_core.iter_mut()) {
+                *pc = cfg.matching_caches().with_big_caches();
+            }
+        }
+        chip.memory.bus = BusConfig {
+            bandwidth_gbps: bus_gbps,
+        };
+        // Keep the shared LLC identical across all designs (8 MB, 16-way).
+        chip.memory.llc = CacheConfig::new(8 * 1024 * 1024, 16, 30);
+        if smt {
+            chip
+        } else {
+            chip.without_smt()
+        }
+    }
+}
+
+/// The nine power-equivalent designs of Figure 2, in paper order.
+pub fn nine_designs() -> Vec<Design> {
+    vec![
+        Design::new("4B", 4, 0, 0),
+        Design::new("8m", 0, 8, 0),
+        Design::new("20s", 0, 0, 20),
+        Design::new("3B2m", 3, 2, 0),
+        Design::new("3B5s", 3, 0, 5),
+        Design::new("2B4m", 2, 4, 0),
+        Design::new("2B10s", 2, 0, 10),
+        Design::new("1B6m", 1, 6, 0),
+        Design::new("1B15s", 1, 0, 15),
+    ]
+}
+
+/// Look a design up by its paper name (the nine plus the Section 8.1
+/// variants `6m_lc`, `16s_lc`, `6m_hf`, `16s_hf`).
+pub fn by_name(name: &str) -> Option<Design> {
+    if let Some(d) = nine_designs().into_iter().find(|d| d.name == name) {
+        return Some(d);
+    }
+    alt_designs().into_iter().find(|d| d.name == name)
+}
+
+/// Section 8.1 alternative designs: larger caches shift the power
+/// equivalence to 1B = 1.5m = 4s (hence 6 medium / 16 small cores), and
+/// so does raising the small/medium clock to 3.33 GHz.
+pub fn alt_designs() -> Vec<Design> {
+    let mut m_lc = Design::new("6m_lc", 0, 6, 0);
+    m_lc.large_caches = true;
+    let mut s_lc = Design::new("16s_lc", 0, 0, 16);
+    s_lc.large_caches = true;
+    let mut m_hf = Design::new("6m_hf", 0, 6, 0);
+    m_hf.freq_ghz = 3.33;
+    let mut s_hf = Design::new("16s_hf", 0, 0, 16);
+    s_hf.freq_ghz = 3.33;
+    vec![m_lc, s_lc, m_hf, s_hf]
+}
+
+/// Paper Table 1, rendered as rows (used by the `table1_configs` bench
+/// target).
+pub fn table1_rows() -> Vec<String> {
+    let fmt = |c: &CoreConfig, pc: &PrivateCacheConfig, name: &str, smt: u8| {
+        format!(
+            "{name:8} {:12} width={} rob={:3} smt={} L1I={:3}KB L1D={:3}KB L2={:3}KB",
+            format!("{:?}", c.class),
+            c.width,
+            c.rob_size,
+            smt,
+            pc.l1i.capacity_bytes / 1024,
+            pc.l1d.capacity_bytes / 1024,
+            pc.l2.capacity_bytes / 1024,
+        )
+    };
+    vec![
+        fmt(&CoreConfig::big(), &PrivateCacheConfig::big(), "big", 6),
+        fmt(
+            &CoreConfig::medium(),
+            &PrivateCacheConfig::medium(),
+            "medium",
+            3,
+        ),
+        fmt(
+            &CoreConfig::small(),
+            &PrivateCacheConfig::small(),
+            "small",
+            2,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_designs_match_figure2() {
+        let d = nine_designs();
+        assert_eq!(d.len(), 9);
+        // Power equivalence: big = 2 medium = 5 small => 4B equivalents.
+        for design in &d {
+            let budget = design.big * 10 + design.medium * 5 + design.small * 2;
+            assert_eq!(budget, 40, "{} violates the power budget", design.name);
+        }
+        // All designs support up to 24 threads with SMT.
+        for design in &d {
+            assert!(
+                design.contexts() >= 20,
+                "{}: only {} contexts",
+                design.name,
+                design.contexts()
+            );
+        }
+        assert_eq!(d[0].contexts(), 24); // 4B
+        assert_eq!(d[1].contexts(), 24); // 8m
+        assert_eq!(d[2].contexts(), 40); // 20s (2-way FGMT each)
+    }
+
+    #[test]
+    fn homogeneity_flags() {
+        assert!(by_name("4B").unwrap().is_homogeneous());
+        assert!(by_name("8m").unwrap().is_homogeneous());
+        assert!(by_name("20s").unwrap().is_homogeneous());
+        assert!(!by_name("3B5s").unwrap().is_homogeneous());
+    }
+
+    #[test]
+    fn chip_construction() {
+        let d = by_name("2B10s").unwrap();
+        let chip = d.chip(true, 8.0);
+        assert_eq!(chip.cores.len(), 12);
+        assert_eq!(chip.total_contexts(), 2 * 6 + 10 * 2);
+        let nosmt = d.chip(false, 8.0);
+        assert_eq!(nosmt.total_contexts(), 12);
+    }
+
+    #[test]
+    fn variants() {
+        let lc = by_name("6m_lc").unwrap();
+        let chip = lc.chip(true, 8.0);
+        // Medium cores but big-core cache sizes.
+        assert_eq!(chip.memory.per_core[0].l2.capacity_bytes, 256 * 1024);
+        let hf = by_name("16s_hf").unwrap();
+        assert!((hf.chip(true, 8.0).freq_ghz - 3.33).abs() < 1e-9);
+        assert!(by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn bus_override() {
+        let chip = by_name("4B").unwrap().chip(true, 16.0);
+        assert!((chip.memory.bus.bandwidth_gbps - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_renders() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].contains("width=4"));
+        assert!(rows[2].contains("InOrder"));
+    }
+}

@@ -1,0 +1,618 @@
+//! The experiment context: memoized simulation of design-space cells.
+//!
+//! A *cell* is one point of the design space: a (design, thread count,
+//! workload class, SMT mode, bus bandwidth) tuple evaluated over the 12
+//! workloads of that class (12 homogeneous workloads = 12 benchmarks;
+//! 12 heterogeneous workloads = the balanced-random mixes of Section
+//! 3.2). The context caches cells, isolated-benchmark profiles and
+//! PARSEC-like application runs so that the many figures built from the
+//! same underlying simulations (Figs. 3, 5-10, 13-15) pay for them
+//! once, and it runs independent simulations on a host thread pool.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tlpsim_power::{CoreKind, PowerModel};
+use tlpsim_sched::{assign_threads, ThreadTraits};
+use tlpsim_uarch::{ChipConfig, CoreConfig, MultiCore, ThreadProgram};
+use tlpsim_workloads::{mix, parsec, spec, InstrStream, ParsecApp, Segment};
+
+use crate::configs::Design;
+use crate::metrics;
+use crate::SimScale;
+
+/// Which of the paper's two multi-program workload classes a cell uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Multiple copies of the same benchmark.
+    Homogeneous,
+    /// Balanced-random mixes of different benchmarks.
+    Heterogeneous,
+}
+
+/// Cache key for a multi-program cell.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    /// Design name (`"4B"`, ...).
+    pub design: String,
+    /// Active thread count.
+    pub n: usize,
+    /// Workload class.
+    pub kind: WorkloadKind,
+    /// SMT enabled on this chip.
+    pub smt: bool,
+    /// Off-chip bandwidth in tenths of GB/s (80 or 160).
+    pub bus_dgbps: u32,
+}
+
+/// Results of one cell: per-workload metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// STP per workload (12 entries).
+    pub stp: Vec<f64>,
+    /// ANTT per workload.
+    pub antt: Vec<f64>,
+    /// Average chip power per workload (power gating on), watts.
+    pub power_w: Vec<f64>,
+}
+
+impl Cell {
+    /// Harmonic-mean STP across workloads (the paper's average for
+    /// rate metrics).
+    pub fn mean_stp(&self) -> f64 {
+        metrics::harmonic_mean(&self.stp)
+    }
+
+    /// Arithmetic-mean ANTT across workloads.
+    pub fn mean_antt(&self) -> f64 {
+        metrics::arithmetic_mean(&self.antt)
+    }
+
+    /// Arithmetic-mean chip power across workloads, watts.
+    pub fn mean_power(&self) -> f64 {
+        metrics::arithmetic_mean(&self.power_w)
+    }
+}
+
+/// Result of one PARSEC-like application run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsecOutcome {
+    /// Cycles spent in the region of interest (between the first and
+    /// last barrier release).
+    pub roi_cycles: u64,
+    /// Whole-program cycles (serial init/finalize included).
+    pub total_cycles: u64,
+    /// Active-thread histogram over the ROI (`[k]` = cycles with `k`
+    /// runnable threads).
+    pub histogram: Vec<u64>,
+}
+
+/// Cache key for a PARSEC run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ParsecKey {
+    design: String,
+    app: usize,
+    n: usize,
+    smt: bool,
+    bus_dgbps: u32,
+}
+
+/// The memoizing experiment context. Cheap to share by reference
+/// across host threads; all caches are internally synchronized.
+#[derive(Debug)]
+pub struct Ctx {
+    /// Simulation scale used for every run.
+    pub scale: SimScale,
+    iso: Mutex<HashMap<(usize, CoreKind), f64>>,
+    cells: Mutex<HashMap<CellKey, Arc<Cell>>>,
+    parsec_runs: Mutex<HashMap<ParsecKey, Arc<ParsecOutcome>>>,
+    disk: Option<Mutex<std::fs::File>>,
+}
+
+impl Ctx {
+    /// Create a context at the given scale.
+    pub fn new(scale: SimScale) -> Self {
+        Ctx {
+            scale,
+            iso: Mutex::new(HashMap::new()),
+            cells: Mutex::new(HashMap::new()),
+            parsec_runs: Mutex::new(HashMap::new()),
+            disk: None,
+        }
+    }
+
+    /// Create a context backed by an append-only result cache on disk,
+    /// so separate processes (e.g. the per-figure bench targets) share
+    /// simulation work. The file is only reused when its header matches
+    /// `scale`; on mismatch it is truncated.
+    pub fn with_disk_cache<P: AsRef<std::path::Path>>(scale: SimScale, path: P) -> Self {
+        let mut ctx = Self::new(scale);
+        let path = path.as_ref();
+        let header = format!(
+            "SCALE {} {} {} {}",
+            scale.warmup, scale.budget, scale.parsec_phase, scale.seed
+        );
+        let mut valid = false;
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let mut lines = text.lines();
+            if lines.next() == Some(header.as_str()) {
+                valid = true;
+                for line in lines {
+                    ctx.load_record(line);
+                }
+            }
+        }
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(valid)
+            .write(true)
+            .truncate(!valid)
+            .open(path);
+        if let Ok(mut f) = file {
+            use std::io::Write;
+            if !valid {
+                let _ = writeln!(f, "{header}");
+            }
+            ctx.disk = Some(Mutex::new(f));
+        }
+        ctx
+    }
+
+    fn load_record(&mut self, line: &str) {
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("ISO") => {
+                let (Some(b), Some(k), Some(v)) = (it.next(), it.next(), it.next()) else {
+                    return;
+                };
+                let kind = match k {
+                    "B" => CoreKind::Big,
+                    "M" => CoreKind::Medium,
+                    _ => CoreKind::Small,
+                };
+                if let (Ok(b), Ok(v)) = (b.parse(), v.parse()) {
+                    self.iso.get_mut().insert((b, kind), v);
+                }
+            }
+            Some("CELL") => {
+                let (Some(d), Some(n), Some(k), Some(smt), Some(bus)) =
+                    (it.next(), it.next(), it.next(), it.next(), it.next())
+                else {
+                    return;
+                };
+                let vals: Vec<f64> = it.filter_map(|x| x.parse().ok()).collect();
+                if vals.len() != 36 {
+                    return;
+                }
+                let key = CellKey {
+                    design: d.to_string(),
+                    n: n.parse().unwrap_or(0),
+                    kind: if k == "H" {
+                        WorkloadKind::Homogeneous
+                    } else {
+                        WorkloadKind::Heterogeneous
+                    },
+                    smt: smt == "1",
+                    bus_dgbps: bus.parse().unwrap_or(80),
+                };
+                let cell = Cell {
+                    stp: vals[0..12].to_vec(),
+                    antt: vals[12..24].to_vec(),
+                    power_w: vals[24..36].to_vec(),
+                };
+                self.cells.get_mut().insert(key, Arc::new(cell));
+            }
+            Some("PARSEC") => {
+                let (Some(d), Some(a), Some(n), Some(smt), Some(bus), Some(roi), Some(total)) = (
+                    it.next(),
+                    it.next(),
+                    it.next(),
+                    it.next(),
+                    it.next(),
+                    it.next(),
+                    it.next(),
+                ) else {
+                    return;
+                };
+                let hist: Vec<u64> = it.filter_map(|x| x.parse().ok()).collect();
+                let key = ParsecKey {
+                    design: d.to_string(),
+                    app: a.parse().unwrap_or(0),
+                    n: n.parse().unwrap_or(0),
+                    smt: smt == "1",
+                    bus_dgbps: bus.parse().unwrap_or(80),
+                };
+                let out = ParsecOutcome {
+                    roi_cycles: roi.parse().unwrap_or(0),
+                    total_cycles: total.parse().unwrap_or(0),
+                    histogram: hist,
+                };
+                self.parsec_runs.get_mut().insert(key, Arc::new(out));
+            }
+            _ => {}
+        }
+    }
+
+    fn persist(&self, line: String) {
+        if let Some(f) = &self.disk {
+            use std::io::Write;
+            let _ = writeln!(f.lock(), "{line}");
+        }
+    }
+
+    // ---------- isolated profiling (the paper's offline analysis) ----------
+
+    /// IPC of benchmark `bench` running alone on one core of `kind`
+    /// (memoized). This is the paper's offline isolated profiling, used
+    /// both for scheduling and for STP/ANTT normalization.
+    pub fn iso_ipc(&self, bench: usize, kind: CoreKind) -> f64 {
+        if let Some(&v) = self.iso.lock().get(&(bench, kind)) {
+            return v;
+        }
+        let core = match kind {
+            CoreKind::Big => CoreConfig::big(),
+            CoreKind::Medium => CoreConfig::medium(),
+            CoreKind::Small => CoreConfig::small(),
+        };
+        let chip = ChipConfig::homogeneous(1, core, 2.66);
+        let profile = &spec::all()[bench];
+        let mut sim = MultiCore::new(&chip);
+        let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+            InstrStream::new(profile, 0, self.scale.seed),
+            self.scale.warmup,
+            self.scale.budget,
+        ));
+        sim.pin(t, 0, 0);
+        sim.prewarm();
+        let run = sim.run().expect("isolated run cannot deadlock");
+        let ipc = run.threads[0].ipc(self.scale.budget);
+        assert!(ipc > 0.0, "benchmark {bench} produced zero IPC");
+        self.iso.lock().insert((bench, kind), ipc);
+        let k = match kind {
+            CoreKind::Big => "B",
+            CoreKind::Medium => "M",
+            CoreKind::Small => "S",
+        };
+        self.persist(format!("ISO {bench} {k} {ipc}"));
+        ipc
+    }
+
+    /// Scheduling traits of a benchmark (offline-analysis products).
+    pub fn traits_of(&self, bench: usize) -> ThreadTraits {
+        ThreadTraits {
+            big_core_benefit: self.iso_ipc(bench, CoreKind::Big)
+                / self.iso_ipc(bench, CoreKind::Small),
+            memory_intensity: spec::all()[bench].memory_intensity(),
+        }
+    }
+
+    // ---------- multi-program cells ----------
+
+    /// Simulate (or fetch) the cell for `design` at `n` threads.
+    pub fn mp_cell(&self, design: &Design, n: usize, kind: WorkloadKind, smt: bool) -> Arc<Cell> {
+        self.mp_cell_bus(design, n, kind, smt, 8.0)
+    }
+
+    /// [`mp_cell`](Self::mp_cell) with explicit bus bandwidth (GB/s).
+    pub fn mp_cell_bus(
+        &self,
+        design: &Design,
+        n: usize,
+        kind: WorkloadKind,
+        smt: bool,
+        bus_gbps: f64,
+    ) -> Arc<Cell> {
+        let key = CellKey {
+            design: design.name.clone(),
+            n,
+            kind,
+            smt,
+            bus_dgbps: (bus_gbps * 10.0) as u32,
+        };
+        if let Some(c) = self.cells.lock().get(&key) {
+            return Arc::clone(c);
+        }
+        let mixes: Vec<Vec<usize>> = match kind {
+            WorkloadKind::Homogeneous => (0..12).map(|b| mix::homogeneous_mix(b, n)).collect(),
+            WorkloadKind::Heterogeneous => mix::heterogeneous_mixes(12, n, self.scale.seed),
+        };
+        let mut stp = Vec::with_capacity(12);
+        let mut antt = Vec::with_capacity(12);
+        let mut power = Vec::with_capacity(12);
+        for (w, m) in mixes.iter().enumerate() {
+            let (s, a, p) = self.run_mix(design, m, smt, bus_gbps, w as u64);
+            stp.push(s);
+            antt.push(a);
+            power.push(p);
+        }
+        let cell = Arc::new(Cell {
+            stp,
+            antt,
+            power_w: power,
+        });
+        let nums = |v: &[f64]| {
+            v.iter()
+                .map(|x| format!("{x}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        self.persist(format!(
+            "CELL {} {} {} {} {} {} {} {}",
+            key.design,
+            key.n,
+            if key.kind == WorkloadKind::Homogeneous {
+                "H"
+            } else {
+                "X"
+            },
+            u8::from(key.smt),
+            key.bus_dgbps,
+            nums(&cell.stp),
+            nums(&cell.antt),
+            nums(&cell.power_w),
+        ));
+        self.cells.lock().insert(key, Arc::clone(&cell));
+        cell
+    }
+
+    /// Simulate one multi-program mix; returns `(stp, antt, power_w)`.
+    fn run_mix(
+        &self,
+        design: &Design,
+        mixv: &[usize],
+        smt: bool,
+        bus_gbps: f64,
+        wl_seed: u64,
+    ) -> (f64, f64, f64) {
+        let chip = design.chip(smt, bus_gbps);
+        let traits: Vec<ThreadTraits> = mixv.iter().map(|&b| self.traits_of(b)).collect();
+        let placements = assign_threads(&chip, &traits, smt);
+        let profiles = spec::all();
+
+        let mut sim = MultiCore::new(&chip);
+        for (i, &b) in mixv.iter().enumerate() {
+            let stream = InstrStream::new(
+                &profiles[b],
+                i as u64,
+                self.scale.seed ^ (wl_seed << 20) ^ 0x9E37,
+            );
+            let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+                stream,
+                self.scale.warmup,
+                self.scale.budget,
+            ));
+            sim.pin(t, placements[i].core, placements[i].slot);
+        }
+        sim.prewarm();
+        let run = sim.run().unwrap_or_else(|e| {
+            panic!(
+                "mix {mixv:?} on {} (smt={smt}, n={}) failed: {e}",
+                design.name,
+                mixv.len()
+            )
+        });
+        let pairs: Vec<(f64, f64)> = run
+            .threads
+            .iter()
+            .zip(mixv)
+            .map(|(t, &b)| (t.ipc(self.scale.budget), self.iso_ipc(b, CoreKind::Big)))
+            .collect();
+        let report = PowerModel::with_power_gating().report(&chip, &run);
+        (
+            metrics::stp(&pairs),
+            metrics::antt(&pairs),
+            report.avg_power_w,
+        )
+    }
+
+    // ---------- PARSEC-like applications ----------
+
+    /// Simulate (or fetch) one PARSEC-like application run.
+    pub fn parsec_run(
+        &self,
+        design: &Design,
+        app_idx: usize,
+        n_threads: usize,
+        smt: bool,
+        bus_gbps: f64,
+    ) -> Arc<ParsecOutcome> {
+        let key = ParsecKey {
+            design: design.name.clone(),
+            app: app_idx,
+            n: n_threads,
+            smt,
+            bus_dgbps: (bus_gbps * 10.0) as u32,
+        };
+        if let Some(r) = self.parsec_runs.lock().get(&key) {
+            return Arc::clone(r);
+        }
+        let apps = parsec::all();
+        let outcome = self.run_parsec_app(design, &apps[app_idx], n_threads, smt, bus_gbps);
+        let hist = outcome
+            .histogram
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        self.persist(format!(
+            "PARSEC {} {} {} {} {} {} {} {}",
+            key.design,
+            key.app,
+            key.n,
+            u8::from(key.smt),
+            key.bus_dgbps,
+            outcome.roi_cycles,
+            outcome.total_cycles,
+            hist,
+        ));
+        let arc = Arc::new(outcome);
+        self.parsec_runs.lock().insert(key, Arc::clone(&arc));
+        arc
+    }
+
+    fn run_parsec_app(
+        &self,
+        design: &Design,
+        app: &ParsecApp,
+        n_threads: usize,
+        smt: bool,
+        bus_gbps: f64,
+    ) -> ParsecOutcome {
+        let chip = design.chip(smt, bus_gbps);
+        let w = app.instantiate(n_threads, self.scale.parsec_phase, self.scale.seed);
+        // Pinned scheduling (Section 5): equal traits keep thread 0 on
+        // the biggest core, so serial phases run there.
+        let traits = vec![
+            ThreadTraits {
+                big_core_benefit: 1.0,
+                memory_intensity: app.profile.memory_intensity(),
+            };
+            n_threads
+        ];
+        let placements = assign_threads(&chip, &traits, smt);
+        let max_barrier = w
+            .threads
+            .iter()
+            .flatten()
+            .filter_map(|s| match s {
+                Segment::Barrier { id } => Some(*id),
+                _ => None,
+            })
+            .max()
+            .expect("apps always have barriers");
+
+        let shared_base = 0x7000_0000_0000u64;
+        let mut sim = MultiCore::new(&chip);
+        for (i, segs) in w.threads.iter().enumerate() {
+            let stream = InstrStream::new(&w.profile, i as u64, self.scale.seed ^ 0xA44_5EED)
+                .with_shared_region(shared_base, w.shared_bytes, w.shared_frac);
+            let t = sim.add_thread(ThreadProgram::segmented(stream, segs.clone()));
+            sim.pin(t, placements[i].core, placements[i].slot);
+        }
+        sim.set_roi_barriers(0, max_barrier);
+        sim.prewarm();
+        let run = sim.run().unwrap_or_else(|e| {
+            panic!(
+                "app {} x{} on {} (smt={smt}) failed: {e}",
+                app.name, n_threads, design.name
+            )
+        });
+        ParsecOutcome {
+            roi_cycles: run.active_histogram.iter().sum(),
+            total_cycles: run.cycles,
+            histogram: run.active_histogram,
+        }
+    }
+}
+
+/// Run `f` over `items` on a host thread pool, preserving order.
+///
+/// This is the sweep executor used by the experiment drivers: each
+/// item is typically one design-space cell (internally ~12 simulated
+/// chips).
+pub fn par_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) -> Vec<R> {
+    let n_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..n_workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("all items processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+
+    fn quick_ctx() -> Ctx {
+        Ctx::new(SimScale::quick())
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn iso_profiles_are_cached_and_ordered() {
+        let ctx = quick_ctx();
+        let hmmer = 0; // index of hmmer_like
+        let mcf = 9; // index of mcf_like
+        let big = ctx.iso_ipc(hmmer, CoreKind::Big);
+        let small = ctx.iso_ipc(hmmer, CoreKind::Small);
+        assert!(big > small, "hmmer: big {big} <= small {small}");
+        // Memoization: identical on second call.
+        assert_eq!(ctx.iso_ipc(hmmer, CoreKind::Big), big);
+        // mcf benefits less from the big core than hmmer.
+        let t_h = ctx.traits_of(hmmer);
+        let t_m = ctx.traits_of(mcf);
+        assert!(t_h.big_core_benefit > t_m.big_core_benefit);
+        assert!(t_m.memory_intensity > t_h.memory_intensity);
+    }
+
+    #[test]
+    fn cell_runs_and_caches() {
+        let ctx = quick_ctx();
+        let d = configs::by_name("4B").unwrap();
+        let c = ctx.mp_cell(&d, 2, WorkloadKind::Homogeneous, true);
+        assert_eq!(c.stp.len(), 12);
+        assert!(c.mean_stp() > 0.5, "2-thread 4B STP {}", c.mean_stp());
+        assert!(c.mean_antt() >= 1.0, "ANTT below 1: {}", c.mean_antt());
+        assert!(
+            c.mean_power() > 7.0,
+            "power below uncore: {}",
+            c.mean_power()
+        );
+        let again = ctx.mp_cell(&d, 2, WorkloadKind::Homogeneous, true);
+        assert!(Arc::ptr_eq(&c, &again), "cell must be cached");
+    }
+
+    #[test]
+    fn stp_grows_with_thread_count() {
+        let ctx = quick_ctx();
+        let d = configs::by_name("4B").unwrap();
+        let s1 = ctx
+            .mp_cell(&d, 1, WorkloadKind::Heterogeneous, true)
+            .mean_stp();
+        let s4 = ctx
+            .mp_cell(&d, 4, WorkloadKind::Heterogeneous, true)
+            .mean_stp();
+        assert!(s4 > s1 * 1.5, "STP: 1thr {s1} vs 4thr {s4}");
+    }
+
+    #[test]
+    fn parsec_outcome_sane() {
+        let ctx = quick_ctx();
+        let d = configs::by_name("4B").unwrap();
+        let r = ctx.parsec_run(&d, 0, 4, true, 8.0);
+        assert!(r.roi_cycles > 0);
+        assert!(r.total_cycles >= r.roi_cycles);
+        let again = ctx.parsec_run(&d, 0, 4, true, 8.0);
+        assert!(Arc::ptr_eq(&r, &again));
+    }
+}

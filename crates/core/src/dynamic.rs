@@ -1,0 +1,51 @@
+//! The idealized dynamic (core-fusion) multi-core of Section 6.
+//!
+//! The paper models the dynamic multi-core optimistically: a chip that
+//! can morph, with zero overhead, into any of the nine static
+//! configurations, and always picks the best one for the current
+//! thread count and workload. That makes it an *oracle over the static
+//! design space*, which is exactly how we compute it: the per-workload
+//! maximum of the nine cells.
+
+use crate::configs::nine_designs;
+use crate::ctx::{Ctx, WorkloadKind};
+use crate::metrics;
+
+/// STP of the ideal dynamic multi-core at `n` threads: for each of the
+/// 12 workloads, the best of the nine designs (then harmonic-mean
+/// across workloads, like any other design point).
+pub fn dynamic_stp(ctx: &Ctx, n: usize, kind: WorkloadKind, smt: bool) -> f64 {
+    let designs = nine_designs();
+    let cells: Vec<_> = designs
+        .iter()
+        .map(|d| ctx.mp_cell(d, n, kind, smt))
+        .collect();
+    let per_workload: Vec<f64> = (0..12)
+        .map(|w| cells.iter().map(|c| c.stp[w]).fold(f64::MIN, f64::max))
+        .collect();
+    metrics::harmonic_mean(&per_workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+    use crate::SimScale;
+
+    #[test]
+    fn dynamic_dominates_every_static_design() {
+        let ctx = Ctx::new(SimScale::quick());
+        let n = 3;
+        let dyn_stp = dynamic_stp(&ctx, n, WorkloadKind::Homogeneous, true);
+        for d in configs::nine_designs() {
+            let s = ctx
+                .mp_cell(&d, n, WorkloadKind::Homogeneous, true)
+                .mean_stp();
+            assert!(
+                dyn_stp >= s - 1e-9,
+                "dynamic {dyn_stp} worse than {}: {s}",
+                d.name
+            );
+        }
+    }
+}

@@ -1,0 +1,742 @@
+//! Experiment drivers: one function per table/figure of the paper.
+//!
+//! Every driver returns the figure's series as plain data with a
+//! `render()` helper, so the bench harness (and the examples) can print
+//! the same rows the paper plots. The underlying simulations are
+//! memoized in the [`Ctx`], and each driver prefetches its cells on a
+//! host thread pool before aggregating.
+
+use tlpsim_workloads::{parsec, spec, ThreadCountDistribution};
+
+use crate::configs::{alt_designs, by_name, nine_designs, Design};
+use crate::ctx::{par_map, Ctx, WorkloadKind};
+use crate::dynamic::dynamic_stp;
+use crate::SWEEP_COUNTS;
+
+/// A labeled curve of `(thread count, value)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Display label (usually a design name).
+    pub label: String,
+    /// Sampled points, ascending in thread count.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Series {
+    /// Piecewise-linear interpolation at thread count `n` (clamped to
+    /// the sampled range).
+    pub fn interp(&self, n: usize) -> f64 {
+        let pts = &self.points;
+        if n <= pts[0].0 {
+            return pts[0].1;
+        }
+        for w in pts.windows(2) {
+            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            if n <= x1 {
+                let f = (n - x0) as f64 / (x1 - x0) as f64;
+                return y0 + f * (y1 - y0);
+            }
+        }
+        pts.last().expect("non-empty series").1
+    }
+
+    /// Time-weighted average under a thread-count distribution
+    /// (rate-metric aggregation; see Section 4.2).
+    pub fn dist_avg(&self, dist: &ThreadCountDistribution) -> f64 {
+        dist.expect(|n| self.interp(n))
+    }
+}
+
+/// A whole figure: several series over the same x axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Figure title (paper reference).
+    pub title: String,
+    /// Curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Render an aligned text table: one row per thread count, one
+    /// column per series.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&format!("{:>7}", "threads"));
+        for s in &self.series {
+            out.push_str(&format!(" {:>8}", s.label));
+        }
+        out.push('\n');
+        if let Some(first) = self.series.first() {
+            for (i, &(n, _)) in first.points.iter().enumerate() {
+                out.push_str(&format!("{n:>7}"));
+                for s in &self.series {
+                    out.push_str(&format!(" {:>8.3}", s.points[i].1));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// A per-design scalar summary (bar charts like Figs. 6-10, 15).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bars {
+    /// Title (paper reference).
+    pub title: String,
+    /// `(label, value)` bars in paper order.
+    pub bars: Vec<(String, f64)>,
+}
+
+impl Bars {
+    /// Render as aligned label/value rows.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} ==\n", self.title);
+        for (l, v) in &self.bars {
+            out.push_str(&format!("{l:>8}  {v:.3}\n"));
+        }
+        out
+    }
+
+    /// The best (largest-value) bar.
+    pub fn best(&self) -> (&str, f64) {
+        let (l, v) = self
+            .bars
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaNs"))
+            .expect("non-empty");
+        (l.as_str(), *v)
+    }
+
+    /// Value for a given label.
+    pub fn value(&self, label: &str) -> Option<f64> {
+        self.bars.iter().find(|(l, _)| l == label).map(|&(_, v)| v)
+    }
+}
+
+// ---------- shared sweep helpers ----------
+
+/// Throughput curve of one design over the sweep counts.
+fn stp_curve(ctx: &Ctx, d: &Design, kind: WorkloadKind, smt: bool, bus: f64) -> Series {
+    let points = SWEEP_COUNTS
+        .iter()
+        .map(|&n| (n, ctx.mp_cell_bus(d, n, kind, smt, bus).mean_stp()))
+        .collect();
+    Series {
+        label: d.name.clone(),
+        points,
+    }
+}
+
+/// Prefetch all (design, count) cells in parallel.
+fn prefetch(ctx: &Ctx, designs: &[Design], kind: WorkloadKind, smt_modes: &[bool], bus: f64) {
+    let mut jobs = Vec::new();
+    for d in designs {
+        for &smt in smt_modes {
+            for &n in &SWEEP_COUNTS {
+                jobs.push((d.clone(), n, smt));
+            }
+        }
+    }
+    par_map(&jobs, |(d, n, smt)| {
+        ctx.mp_cell_bus(d, *n, kind, *smt, bus);
+    });
+}
+
+// ---------- Figure 1 ----------
+
+/// Figure 1's bucket labels.
+pub const FIG1_BUCKETS: [&str; 9] = ["1", "2", "3", "4", "5", "6-10", "11-15", "16-19", "20"];
+
+/// Distribution of the number of active threads for the PARSEC-like
+/// benchmarks on a twenty-core processor (Figure 1). Returns, per app,
+/// the fraction of ROI time in each bucket, plus an `"average"` row.
+pub fn fig1_active_threads(ctx: &Ctx) -> Vec<(String, [f64; 9])> {
+    let d = by_name("20s").expect("20s exists");
+    let apps = parsec::all();
+    let idx: Vec<usize> = (0..apps.len()).collect();
+    let rows = par_map(&idx, |&a| {
+        let r = ctx.parsec_run(&d, a, 20, false, 8.0);
+        let total: u64 = r.histogram.iter().sum();
+        let mut buckets = [0.0f64; 9];
+        for (k, &cycles) in r.histogram.iter().enumerate() {
+            let b = match k {
+                0 | 1 => 0, // idle cycles counted as 1-thread time
+                2 => 1,
+                3 => 2,
+                4 => 3,
+                5 => 4,
+                6..=10 => 5,
+                11..=15 => 6,
+                16..=19 => 7,
+                _ => 8,
+            };
+            buckets[b] += cycles as f64 / total.max(1) as f64;
+        }
+        (apps[a].name.to_string(), buckets)
+    });
+    let mut avg = [0.0f64; 9];
+    for (_, b) in &rows {
+        for i in 0..9 {
+            avg[i] += b[i] / rows.len() as f64;
+        }
+    }
+    let mut rows = rows;
+    rows.push(("average".to_string(), avg));
+    rows
+}
+
+// ---------- Figures 3, 4, 5 ----------
+
+/// Figure 3: STP as a function of thread count for the nine designs
+/// (all SMT-enabled), homogeneous or heterogeneous workloads.
+pub fn fig3_throughput(ctx: &Ctx, kind: WorkloadKind) -> Figure {
+    let designs = nine_designs();
+    prefetch(ctx, &designs, kind, &[true], 8.0);
+    Figure {
+        title: format!("Fig.3 STP vs thread count ({kind:?} workloads, SMT)"),
+        series: designs
+            .iter()
+            .map(|d| stp_curve(ctx, d, kind, true, 8.0))
+            .collect(),
+    }
+}
+
+/// Figure 4: the same curves for a single benchmark (homogeneous
+/// multi-program workload). `bench` indexes [`spec::all`].
+pub fn fig4_per_benchmark(ctx: &Ctx, bench: usize) -> Figure {
+    let designs = nine_designs();
+    prefetch(ctx, &designs, WorkloadKind::Homogeneous, &[true], 8.0);
+    Figure {
+        title: format!("Fig.4 STP vs thread count ({})", spec::names()[bench]),
+        series: designs
+            .iter()
+            .map(|d| Series {
+                label: d.name.clone(),
+                points: SWEEP_COUNTS
+                    .iter()
+                    .map(|&n| {
+                        (
+                            n,
+                            ctx.mp_cell(d, n, WorkloadKind::Homogeneous, true).stp[bench],
+                        )
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Figure 5: ANTT as a function of thread count (homogeneous
+/// workloads, SMT everywhere). Lower is better.
+pub fn fig5_antt(ctx: &Ctx) -> Figure {
+    let designs = nine_designs();
+    prefetch(ctx, &designs, WorkloadKind::Homogeneous, &[true], 8.0);
+    Figure {
+        title: "Fig.5 ANTT vs thread count (homogeneous workloads)".into(),
+        series: designs
+            .iter()
+            .map(|d| Series {
+                label: d.name.clone(),
+                points: SWEEP_COUNTS
+                    .iter()
+                    .map(|&n| {
+                        (
+                            n,
+                            ctx.mp_cell(d, n, WorkloadKind::Homogeneous, true)
+                                .mean_antt(),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+// ---------- Figures 6, 7, 8 (uniform distribution) ----------
+
+/// SMT policy of a design-space evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmtPolicy {
+    /// SMT disabled everywhere (Figure 6).
+    None,
+    /// SMT only in the homogeneous designs (Figure 7).
+    HomogeneousOnly,
+    /// SMT everywhere (Figure 8).
+    All,
+}
+
+impl SmtPolicy {
+    fn enabled_for(self, d: &Design) -> bool {
+        match self {
+            SmtPolicy::None => false,
+            SmtPolicy::HomogeneousOnly => d.is_homogeneous(),
+            SmtPolicy::All => true,
+        }
+    }
+}
+
+/// Figures 6-8: average performance under a uniform thread-count
+/// distribution (1..=24), for the given SMT policy.
+pub fn fig6to8_uniform(ctx: &Ctx, kind: WorkloadKind, policy: SmtPolicy) -> Bars {
+    let designs = nine_designs();
+    let dist = ThreadCountDistribution::uniform(24);
+    prefetch(ctx, &designs, kind, &[true, false], 8.0);
+    let bars = designs
+        .iter()
+        .map(|d| {
+            let smt = policy.enabled_for(d);
+            let curve = stp_curve(ctx, d, kind, smt, 8.0);
+            (d.name.clone(), curve.dist_avg(&dist))
+        })
+        .collect();
+    Bars {
+        title: format!("Figs.6-8 uniform-distribution STP ({kind:?}, {policy:?})"),
+        bars,
+    }
+}
+
+// ---------- Figure 9 ----------
+
+/// Figure 9: per-benchmark uniform-distribution performance, SMT in
+/// all designs (homogeneous workloads).
+pub fn fig9_per_benchmark(ctx: &Ctx) -> Vec<(String, Bars)> {
+    let designs = nine_designs();
+    let dist = ThreadCountDistribution::uniform(24);
+    prefetch(ctx, &designs, WorkloadKind::Homogeneous, &[true], 8.0);
+    spec::names()
+        .iter()
+        .enumerate()
+        .map(|(b, name)| {
+            let bars = designs
+                .iter()
+                .map(|d| {
+                    let s = Series {
+                        label: d.name.clone(),
+                        points: SWEEP_COUNTS
+                            .iter()
+                            .map(|&n| {
+                                (n, ctx.mp_cell(d, n, WorkloadKind::Homogeneous, true).stp[b])
+                            })
+                            .collect(),
+                    };
+                    (d.name.clone(), s.dist_avg(&dist))
+                })
+                .collect();
+            (
+                name.to_string(),
+                Bars {
+                    title: format!("Fig.9 {name}"),
+                    bars,
+                },
+            )
+        })
+        .collect()
+}
+
+// ---------- Figure 10 ----------
+
+/// Figure 10: average performance under the datacenter and mirrored
+/// datacenter distributions (heterogeneous workloads), without and
+/// with SMT. Returns `(distribution, smt, bars)` rows.
+pub fn fig10_datacenter(ctx: &Ctx) -> Vec<(String, bool, Bars)> {
+    let designs = nine_designs();
+    prefetch(
+        ctx,
+        &designs,
+        WorkloadKind::Heterogeneous,
+        &[true, false],
+        8.0,
+    );
+    let dists = [
+        ("datacenter", ThreadCountDistribution::datacenter(24)),
+        (
+            "mirrored datacenter",
+            ThreadCountDistribution::mirrored_datacenter(24),
+        ),
+    ];
+    let mut out = Vec::new();
+    for (dname, dist) in &dists {
+        for smt in [false, true] {
+            let bars = designs
+                .iter()
+                .map(|d| {
+                    let curve = stp_curve(ctx, d, WorkloadKind::Heterogeneous, smt, 8.0);
+                    (d.name.clone(), curve.dist_avg(dist))
+                })
+                .collect();
+            out.push((
+                dname.to_string(),
+                smt,
+                Bars {
+                    title: format!("Fig.10 {dname} (SMT={smt})"),
+                    bars,
+                },
+            ));
+        }
+    }
+    out
+}
+
+// ---------- Figures 11, 12, 16 (PARSEC) ----------
+
+/// Thread counts evaluated per design for multi-threaded workloads.
+fn parsec_counts(d: &Design, smt: bool) -> Vec<usize> {
+    if smt {
+        let mut v: Vec<usize> = [4, 8, 16, 24]
+            .into_iter()
+            .filter(|&n| n <= d.contexts().min(24))
+            .collect();
+        if !v.contains(&d.cores()) && d.cores() <= 24 {
+            v.push(d.cores());
+        }
+        v
+    } else {
+        // Paper: without SMT, thread count equals core count.
+        vec![d.cores().min(24)]
+    }
+}
+
+/// Best (max) speedup of `design` for one app, relative to
+/// `ref_cycles`, over the allowed thread counts.
+fn parsec_speedup(
+    ctx: &Ctx,
+    d: &Design,
+    app: usize,
+    smt: bool,
+    bus: f64,
+    ref_cycles: u64,
+    roi_only: bool,
+) -> f64 {
+    parsec_counts(d, smt)
+        .iter()
+        .map(|&n| {
+            let r = ctx.parsec_run(d, app, n, smt, bus);
+            let c = if roi_only {
+                r.roi_cycles
+            } else {
+                r.total_cycles
+            };
+            ref_cycles as f64 / c.max(1) as f64
+        })
+        .fold(f64::MIN, f64::max)
+}
+
+/// The reference execution: the app with 4 threads on 4B (ROI and
+/// whole-program cycles).
+fn parsec_reference(ctx: &Ctx, app: usize, bus: f64) -> (u64, u64) {
+    let d = by_name("4B").expect("4B exists");
+    let r = ctx.parsec_run(&d, app, 4, true, bus);
+    (r.roi_cycles, r.total_cycles)
+}
+
+/// Figures 11/12: normalized speedups for the multi-threaded
+/// benchmarks on {4B, 8m, 20s, 1B6m, 1B15s}, without and with SMT.
+/// Returns per-app rows plus an `"average"` row; each row holds
+/// `(design, smt) -> speedup` in a fixed order given by
+/// [`parsec_design_columns`].
+pub fn fig11_12_parsec(ctx: &Ctx, roi_only: bool, bus: f64) -> Vec<(String, Vec<f64>)> {
+    let designs = parsec_design_columns();
+    let apps = parsec::all();
+    // Prefetch every (app, design, smt, count) run in parallel.
+    let mut jobs = Vec::new();
+    for a in 0..apps.len() {
+        jobs.push((a, None, true, 4)); // reference
+        for d in &designs {
+            for smt in [false, true] {
+                for n in parsec_counts(d, smt) {
+                    jobs.push((a, Some(d.clone()), smt, n));
+                }
+            }
+        }
+    }
+    par_map(&jobs, |(a, d, smt, n)| match d {
+        None => {
+            parsec_reference(ctx, *a, bus);
+        }
+        Some(d) => {
+            ctx.parsec_run(d, *a, *n, *smt, bus);
+        }
+    });
+
+    let mut rows: Vec<(String, Vec<f64>)> = (0..apps.len())
+        .map(|a| {
+            let (ref_roi, ref_total) = parsec_reference(ctx, a, bus);
+            let refc = if roi_only { ref_roi } else { ref_total };
+            let mut vals = Vec::new();
+            for smt in [false, true] {
+                for d in &designs {
+                    vals.push(parsec_speedup(ctx, d, a, smt, bus, refc, roi_only));
+                }
+            }
+            (apps[a].name.to_string(), vals)
+        })
+        .collect();
+    let cols = rows[0].1.len();
+    let avg: Vec<f64> = (0..cols)
+        .map(|c| rows.iter().map(|(_, v)| v[c]).sum::<f64>() / rows.len() as f64)
+        .collect();
+    rows.push(("average".to_string(), avg));
+    rows
+}
+
+/// The design columns of Figures 11/12 (single-big-core heterogeneous
+/// designs only, per Section 5).
+pub fn parsec_design_columns() -> Vec<Design> {
+    ["4B", "8m", "20s", "1B6m", "1B15s"]
+        .iter()
+        .map(|n| by_name(n).expect("known design"))
+        .collect()
+}
+
+/// Figure 16: multi-threaded ROI speedups for the alternative designs
+/// of Section 8.1 (larger caches / higher frequency), SMT enabled.
+pub fn fig16_alt_designs(ctx: &Ctx) -> Bars {
+    let mut designs = vec![
+        by_name("4B").expect("known"),
+        by_name("8m").expect("known"),
+        by_name("20s").expect("known"),
+    ];
+    designs.extend(alt_designs());
+    let apps = parsec::all();
+    let mut jobs = Vec::new();
+    for a in 0..apps.len() {
+        jobs.push((a, None, 4));
+        for d in &designs {
+            for n in parsec_counts(d, true) {
+                jobs.push((a, Some(d.clone()), n));
+            }
+        }
+    }
+    par_map(&jobs, |(a, d, n)| match d {
+        None => {
+            parsec_reference(ctx, *a, 8.0);
+        }
+        Some(d) => {
+            ctx.parsec_run(d, *a, *n, true, 8.0);
+        }
+    });
+    let bars = designs
+        .iter()
+        .map(|d| {
+            let avg = (0..apps.len())
+                .map(|a| {
+                    let (ref_roi, _) = parsec_reference(ctx, a, 8.0);
+                    parsec_speedup(ctx, d, a, true, 8.0, ref_roi, true)
+                })
+                .sum::<f64>()
+                / apps.len() as f64;
+            (d.name.clone(), avg)
+        })
+        .collect();
+    Bars {
+        title: "Fig.16 alternative designs, multi-threaded ROI speedup (SMT)".into(),
+        bars,
+    }
+}
+
+// ---------- Figure 13 ----------
+
+/// Figure 13: the 4B configuration with SMT versus the ideal dynamic
+/// multi-core with and without SMT.
+pub fn fig13_dynamic(ctx: &Ctx, kind: WorkloadKind) -> Figure {
+    let designs = nine_designs();
+    prefetch(ctx, &designs, kind, &[true, false], 8.0);
+    let d4b = by_name("4B").expect("4B exists");
+    let mk = |label: &str, f: &dyn Fn(usize) -> f64| Series {
+        label: label.to_string(),
+        points: SWEEP_COUNTS.iter().map(|&n| (n, f(n))).collect(),
+    };
+    Figure {
+        title: format!("Fig.13 4B+SMT vs ideal dynamic multi-core ({kind:?})"),
+        series: vec![
+            mk("4B", &|n| ctx.mp_cell(&d4b, n, kind, true).mean_stp()),
+            mk("dyn", &|n| dynamic_stp(ctx, n, kind, false)),
+            mk("dynSMT", &|n| dynamic_stp(ctx, n, kind, true)),
+        ],
+    }
+}
+
+// ---------- Figures 14, 15 ----------
+
+/// Figure 14: average chip power (power gating on) as a function of
+/// thread count, homogeneous workloads, SMT everywhere.
+pub fn fig14_power(ctx: &Ctx) -> Figure {
+    let designs = nine_designs();
+    prefetch(ctx, &designs, WorkloadKind::Homogeneous, &[true], 8.0);
+    Figure {
+        title: "Fig.14 power (W) vs thread count (power gating)".into(),
+        series: designs
+            .iter()
+            .map(|d| Series {
+                label: d.name.clone(),
+                points: SWEEP_COUNTS
+                    .iter()
+                    .map(|&n| {
+                        (
+                            n,
+                            ctx.mp_cell(d, n, WorkloadKind::Homogeneous, true)
+                                .mean_power(),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// One row of Figure 15: performance, power and normalized energy of a
+/// design under the uniform distribution (heterogeneous workloads).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerPerfPoint {
+    /// Design name.
+    pub design: String,
+    /// Distribution-averaged STP.
+    pub perf: f64,
+    /// Distribution-averaged chip power, watts.
+    pub power_w: f64,
+    /// Energy per unit of work, normalized to 4B (= power/perf ratio).
+    pub energy_norm: f64,
+    /// Energy-delay product, normalized to 4B.
+    pub edp_norm: f64,
+}
+
+/// Figure 15: throughput versus power and energy for all designs
+/// (heterogeneous workloads, uniform distribution, SMT, power gating).
+pub fn fig15_power_perf(ctx: &Ctx) -> Vec<PowerPerfPoint> {
+    let designs = nine_designs();
+    prefetch(ctx, &designs, WorkloadKind::Heterogeneous, &[true], 8.0);
+    let dist = ThreadCountDistribution::uniform(24);
+    let raw: Vec<(String, f64, f64)> = designs
+        .iter()
+        .map(|d| {
+            let stp = stp_curve(ctx, d, WorkloadKind::Heterogeneous, true, 8.0);
+            let power = Series {
+                label: d.name.clone(),
+                points: SWEEP_COUNTS
+                    .iter()
+                    .map(|&n| {
+                        (
+                            n,
+                            ctx.mp_cell(d, n, WorkloadKind::Heterogeneous, true)
+                                .mean_power(),
+                        )
+                    })
+                    .collect(),
+            };
+            (d.name.clone(), stp.dist_avg(&dist), power.dist_avg(&dist))
+        })
+        .collect();
+    let (p4b, w4b) = raw
+        .iter()
+        .find(|(n, _, _)| n == "4B")
+        .map(|&(_, p, w)| (p, w))
+        .expect("4B present");
+    let e4b = w4b / p4b;
+    let edp4b = w4b / (p4b * p4b);
+    raw.into_iter()
+        .map(|(design, perf, power_w)| PowerPerfPoint {
+            design,
+            perf,
+            power_w,
+            energy_norm: (power_w / perf) / e4b,
+            edp_norm: (power_w / (perf * perf)) / edp4b,
+        })
+        .collect()
+}
+
+// ---------- Figure 17 ----------
+
+/// Figure 17: the Figure 8 aggregates and the Figure 11 averages,
+/// re-evaluated with a 16 GB/s memory bus.
+pub fn fig17_high_bandwidth(ctx: &Ctx) -> (Bars, Bars, Vec<(String, Vec<f64>)>) {
+    let designs = nine_designs();
+    let dist = ThreadCountDistribution::uniform(24);
+    for kind in [WorkloadKind::Homogeneous, WorkloadKind::Heterogeneous] {
+        let mut jobs = Vec::new();
+        for d in &designs {
+            for &n in &SWEEP_COUNTS {
+                jobs.push((d.clone(), n));
+            }
+        }
+        par_map(&jobs, |(d, n)| {
+            ctx.mp_cell_bus(d, *n, kind, true, 16.0);
+        });
+    }
+    let mk = |kind: WorkloadKind| Bars {
+        title: format!("Fig.17 uniform STP at 16 GB/s ({kind:?}, SMT)"),
+        bars: designs
+            .iter()
+            .map(|d| {
+                let curve = stp_curve(ctx, d, kind, true, 16.0);
+                (d.name.clone(), curve.dist_avg(&dist))
+            })
+            .collect(),
+    };
+    let parsec16 = fig11_12_parsec(ctx, true, 16.0);
+    (
+        mk(WorkloadKind::Homogeneous),
+        mk(WorkloadKind::Heterogeneous),
+        parsec16,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_interpolation() {
+        let s = Series {
+            label: "t".into(),
+            points: vec![(1, 1.0), (3, 3.0), (5, 4.0)],
+        };
+        assert!((s.interp(1) - 1.0).abs() < 1e-12);
+        assert!((s.interp(2) - 2.0).abs() < 1e-12);
+        assert!((s.interp(4) - 3.5).abs() < 1e-12);
+        assert!((s.interp(9) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dist_avg_uniform_matches_hand_computation() {
+        let s = Series {
+            label: "t".into(),
+            points: vec![(1, 2.0), (2, 2.0), (3, 2.0), (4, 2.0)],
+        };
+        let d = ThreadCountDistribution::uniform(4);
+        assert!((s.dist_avg(&d) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bars_helpers() {
+        let b = Bars {
+            title: "t".into(),
+            bars: vec![("a".into(), 1.0), ("b".into(), 3.0)],
+        };
+        assert_eq!(b.best(), ("b", 3.0));
+        assert_eq!(b.value("a"), Some(1.0));
+        assert!(b.render().contains("3.000"));
+    }
+
+    #[test]
+    fn smt_policy_selector() {
+        let d4b = by_name("4B").unwrap();
+        let het = by_name("3B5s").unwrap();
+        assert!(!SmtPolicy::None.enabled_for(&d4b));
+        assert!(SmtPolicy::HomogeneousOnly.enabled_for(&d4b));
+        assert!(!SmtPolicy::HomogeneousOnly.enabled_for(&het));
+        assert!(SmtPolicy::All.enabled_for(&het));
+    }
+
+    #[test]
+    fn parsec_counts_respect_contexts() {
+        let d = by_name("4B").unwrap();
+        let with = parsec_counts(&d, true);
+        assert!(with.contains(&24) && with.contains(&4));
+        let without = parsec_counts(&d, false);
+        assert_eq!(without, vec![4]);
+        let s20 = by_name("20s").unwrap();
+        assert_eq!(parsec_counts(&s20, false), vec![20]);
+    }
+}

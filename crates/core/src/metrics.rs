@@ -1,0 +1,107 @@
+//! Multi-program performance metrics (Eyerman & Eeckhout, IEEE Micro
+//! 2008) and the paper's aggregation conventions.
+
+/// System throughput (STP), a.k.a. weighted speedup: the number of
+/// jobs completed per unit time, normalized to isolated execution on
+/// the big core.
+///
+/// `pairs` yields `(ipc_multi, ipc_isolated_on_big)` per program.
+///
+/// # Panics
+/// Panics if any isolated IPC is not positive.
+pub fn stp(pairs: &[(f64, f64)]) -> f64 {
+    pairs
+        .iter()
+        .map(|&(multi, iso)| {
+            assert!(iso > 0.0, "isolated IPC must be positive");
+            multi / iso
+        })
+        .sum()
+}
+
+/// Average normalized turnaround time (ANTT): the mean per-program
+/// slowdown relative to isolated execution on the big core. Lower is
+/// better; 1.0 means no slowdown.
+///
+/// # Panics
+/// Panics if `pairs` is empty or any multi-IPC is not positive.
+pub fn antt(pairs: &[(f64, f64)]) -> f64 {
+    assert!(!pairs.is_empty(), "ANTT of an empty workload");
+    let sum: f64 = pairs
+        .iter()
+        .map(|&(multi, iso)| {
+            assert!(multi > 0.0, "program never ran");
+            iso / multi
+        })
+        .sum();
+    sum / pairs.len() as f64
+}
+
+/// Harmonic mean; the paper's average for STP across workloads (STP is
+/// a rate metric).
+///
+/// # Panics
+/// Panics if `xs` is empty or contains a non-positive value.
+pub fn harmonic_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "harmonic mean of nothing");
+    let s: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "harmonic mean needs positive values");
+            1.0 / x
+        })
+        .sum();
+    xs.len() as f64 / s
+}
+
+/// Arithmetic mean (used for ANTT, a time metric).
+///
+/// # Panics
+/// Panics if `xs` is empty.
+pub fn arithmetic_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of nothing");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stp_of_isolated_programs_is_thread_count() {
+        let pairs = vec![(2.0, 2.0), (1.0, 1.0), (0.5, 0.5)];
+        assert!((stp(&pairs) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stp_degrades_with_contention() {
+        let pairs = vec![(1.0, 2.0), (0.5, 1.0)];
+        assert!((stp(&pairs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn antt_is_one_without_slowdown() {
+        let pairs = vec![(2.0, 2.0), (1.5, 1.5)];
+        assert!((antt(&pairs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn antt_measures_slowdown() {
+        let pairs = vec![(1.0, 2.0), (1.0, 4.0)];
+        assert!((antt(&pairs) - 3.0).abs() < 1e-12); // (2 + 4) / 2
+    }
+
+    #[test]
+    fn harmonic_mean_punishes_outliers() {
+        let h = harmonic_mean(&[1.0, 1.0, 0.1]);
+        let a = arithmetic_mean(&[1.0, 1.0, 0.1]);
+        assert!(h < a);
+        assert!((harmonic_mean(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn harmonic_rejects_zero() {
+        harmonic_mean(&[1.0, 0.0]);
+    }
+}

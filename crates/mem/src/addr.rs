@@ -1,0 +1,81 @@
+//! Address and cache-line arithmetic.
+
+/// Size of a cache line in bytes, fixed at 64 B across the hierarchy.
+pub const LINE_BYTES: u64 = 64;
+
+/// A byte address in the simulated (flat, per-chip) physical address space.
+///
+/// Programs in a multi-program workload are placed in disjoint address
+/// ranges by the workload generator, so they never falsely share lines;
+/// threads of a multi-threaded application deliberately share a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache line containing this address.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// Byte offset within the cache line.
+    #[inline]
+    pub fn line_offset(self) -> u64 {
+        self.0 % LINE_BYTES
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A cache-line-granular address (byte address divided by [`LINE_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// First byte address of the line.
+    #[inline]
+    pub fn base(self) -> Addr {
+        Addr(self.0 * LINE_BYTES)
+    }
+}
+
+impl std::fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_math_round_trips() {
+        let a = Addr(0x1234);
+        assert_eq!(a.line().0, 0x1234 / 64);
+        assert_eq!(a.line_offset(), 0x1234 % 64);
+        assert_eq!(a.line().base().0, (0x1234 / 64) * 64);
+    }
+
+    #[test]
+    fn adjacent_bytes_share_a_line() {
+        assert_eq!(Addr(64).line(), Addr(127).line());
+        assert_ne!(Addr(63).line(), Addr(64).line());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Addr(0)).is_empty());
+        assert!(!format!("{}", LineAddr(0)).is_empty());
+    }
+}

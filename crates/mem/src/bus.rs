@@ -1,0 +1,131 @@
+//! Off-chip memory bus with finite bandwidth (paper: 8 GB/s; 16 GB/s in
+//! Section 8.2).
+//!
+//! Every cache line moved between the LLC and DRAM (fills *and* dirty
+//! writebacks) occupies the bus for `line_bytes / bandwidth` of wall
+//! time. Requests queue FCFS behind the bus's next-free time. This is
+//! the mechanism that makes high-thread-count runs of memory-intensive
+//! workloads bandwidth-bound, which drives the paper's libquantum-style
+//! flattening (Figure 4b) and the Section 8.2 sensitivity study.
+
+use crate::Cycle;
+
+/// Bus configuration in wall-clock units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusConfig {
+    /// Sustained bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig {
+            bandwidth_gbps: 8.0,
+        }
+    }
+}
+
+/// Stateful bus timing model.
+#[derive(Debug, Clone)]
+pub struct Bus {
+    /// Cycles the bus is occupied per 64 B line transfer.
+    occupancy_cycles: u64,
+    next_free: Cycle,
+    transfers: u64,
+    total_queue_cycles: u64,
+}
+
+impl Bus {
+    /// Build a bus model; `freq_ghz` converts wall time to core cycles.
+    pub fn new(cfg: &BusConfig, freq_ghz: f64) -> Self {
+        assert!(cfg.bandwidth_gbps > 0.0, "bandwidth must be positive");
+        assert!(freq_ghz > 0.0, "frequency must be positive");
+        let ns_per_line = crate::LINE_BYTES as f64 / cfg.bandwidth_gbps; // GB/s == B/ns
+        Bus {
+            occupancy_cycles: (ns_per_line * freq_ghz).round().max(1.0) as u64,
+            next_free: 0,
+            transfers: 0,
+            total_queue_cycles: 0,
+        }
+    }
+
+    /// Bus occupancy of one line transfer, in core cycles.
+    pub fn occupancy_cycles(&self) -> u64 {
+        self.occupancy_cycles
+    }
+
+    /// Request a line transfer starting no earlier than `now`; returns the
+    /// cycle at which the transfer completes.
+    pub fn transfer(&mut self, now: Cycle) -> Cycle {
+        let start = now.max(self.next_free);
+        self.total_queue_cycles += start - now;
+        let done = start + self.occupancy_cycles;
+        self.next_free = done;
+        self.transfers += 1;
+        done
+    }
+
+    /// Total line transfers performed.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total bytes moved.
+    pub fn bytes(&self) -> u64 {
+        self.transfers * crate::LINE_BYTES
+    }
+
+    /// Average queueing delay per transfer, in cycles.
+    pub fn avg_queue_cycles(&self) -> f64 {
+        if self.transfers == 0 {
+            0.0
+        } else {
+            self.total_queue_cycles as f64 / self.transfers as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_matches_bandwidth() {
+        // 64B / 8GB/s = 8ns -> 21.28 cycles at 2.66GHz -> 21
+        let b = Bus::new(&BusConfig::default(), 2.66);
+        assert_eq!(b.occupancy_cycles(), 21);
+        // doubling bandwidth halves occupancy
+        let b16 = Bus::new(
+            &BusConfig {
+                bandwidth_gbps: 16.0,
+            },
+            2.66,
+        );
+        assert_eq!(b16.occupancy_cycles(), 11);
+    }
+
+    #[test]
+    fn back_to_back_transfers_queue() {
+        let mut b = Bus::new(&BusConfig::default(), 2.66);
+        let t1 = b.transfer(0);
+        let t2 = b.transfer(0);
+        assert_eq!(t2, t1 + b.occupancy_cycles());
+        assert!(b.avg_queue_cycles() > 0.0);
+    }
+
+    #[test]
+    fn spaced_transfers_do_not_queue() {
+        let mut b = Bus::new(&BusConfig::default(), 2.66);
+        b.transfer(0);
+        let t = b.transfer(1_000);
+        assert_eq!(t, 1_000 + b.occupancy_cycles());
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut b = Bus::new(&BusConfig::default(), 2.66);
+        b.transfer(0);
+        b.transfer(0);
+        assert_eq!(b.bytes(), 128);
+    }
+}

@@ -1,0 +1,340 @@
+//! Set-associative cache with true-LRU replacement.
+//!
+//! This is a tag-array-only model: it tracks presence, dirtiness and
+//! recency of lines, which is all the timing study needs. Capacity and
+//! conflict behaviour are exact for the configured geometry.
+
+use crate::addr::LineAddr;
+
+/// Geometry of a single cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. Need not be a power of two (the paper's
+    /// small core uses 6 KB L1 caches and a 48 KB L2).
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Access latency in core cycles (applied by the hierarchy).
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Convenience constructor.
+    ///
+    /// # Panics
+    /// Panics if `capacity_bytes` is not a multiple of `ways * 64` or if
+    /// either parameter is zero.
+    pub fn new(capacity_bytes: u64, ways: u32, latency: u64) -> Self {
+        assert!(capacity_bytes > 0 && ways > 0, "cache must be non-empty");
+        assert_eq!(
+            capacity_bytes % (ways as u64 * crate::LINE_BYTES),
+            0,
+            "capacity must be a whole number of sets"
+        );
+        CacheConfig {
+            capacity_bytes,
+            ways,
+            latency,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.capacity_bytes / (self.ways as u64 * crate::LINE_BYTES)
+    }
+
+    /// Number of lines the cache can hold.
+    pub fn lines(&self) -> u64 {
+        self.capacity_bytes / crate::LINE_BYTES
+    }
+}
+
+/// What a lookup did to the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The line was present.
+    pub hit: bool,
+    /// A dirty line was evicted to make room (miss path only).
+    pub writeback: Option<LineAddr>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Recency stamp; larger = more recently used.
+    lru: u64,
+}
+
+/// A set-associative, write-back, write-allocate cache with true LRU.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: u64,
+    ways: Vec<Way>, // sets * cfg.ways, row-major by set
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl Cache {
+    /// Build an empty (all-invalid) cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Cache {
+            cfg,
+            sets,
+            ways: vec![Way::default(); (sets * cfg.ways as u64) as usize],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn set_of(&self, line: LineAddr) -> u64 {
+        line.0 % self.sets
+    }
+
+    #[inline]
+    fn tag_of(&self, line: LineAddr) -> u64 {
+        line.0 / self.sets
+    }
+
+    #[inline]
+    fn set_slice(&mut self, set: u64) -> &mut [Way] {
+        let w = self.cfg.ways as usize;
+        let base = set as usize * w;
+        &mut self.ways[base..base + w]
+    }
+
+    /// Look up `line`, allocating it on a miss (write-allocate) and
+    /// marking it dirty when `write` is true. Returns whether it hit and
+    /// any dirty victim that must be written back.
+    pub fn access(&mut self, line: LineAddr, write: bool) -> AccessOutcome {
+        self.tick += 1;
+        let tick = self.tick;
+        let sets = self.sets;
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        let ways = self.set_slice(set);
+
+        // Hit path.
+        let mut hit = false;
+        for w in ways.iter_mut() {
+            if w.valid && w.tag == tag {
+                w.lru = tick;
+                w.dirty |= write;
+                hit = true;
+                break;
+            }
+        }
+        if hit {
+            self.hits += 1;
+            return AccessOutcome {
+                hit: true,
+                writeback: None,
+            };
+        }
+
+        // Miss: pick invalid way or LRU victim.
+        let mut victim = 0usize;
+        let mut best = u64::MAX;
+        for (i, w) in ways.iter().enumerate() {
+            if !w.valid {
+                victim = i;
+                break;
+            }
+            if w.lru < best {
+                best = w.lru;
+                victim = i;
+            }
+        }
+        let v = &mut ways[victim];
+        let mut writeback = None;
+        if v.valid && v.dirty {
+            // Reconstruct the victim's line address.
+            writeback = Some(LineAddr(v.tag * sets + set));
+        }
+        *v = Way {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: tick,
+        };
+        if writeback.is_some() {
+            self.writebacks += 1;
+        }
+        self.misses += 1;
+        AccessOutcome {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Probe without modifying LRU/allocating. Used by tests and by the
+    /// hierarchy to model silent upgrades.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let set = line.0 % self.sets;
+        let tag = line.0 / self.sets;
+        let w = self.cfg.ways as usize;
+        let base = set as usize * w;
+        self.ways[base..base + w]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Invalidate a line if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        let ways = self.set_slice(set);
+        for w in ways.iter_mut() {
+            if w.valid && w.tag == tag {
+                let dirty = w.dirty;
+                w.valid = false;
+                w.dirty = false;
+                return dirty;
+            }
+        }
+        false
+    }
+
+    /// Number of valid lines currently resident (O(lines); for tests/stats).
+    pub fn resident_lines(&self) -> u64 {
+        self.ways.iter().filter(|w| w.valid).count() as u64
+    }
+
+    /// (hits, misses, writebacks) counters since construction.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.writebacks)
+    }
+
+    /// Zero the hit/miss/writeback counters, keeping cache contents.
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+
+    /// Miss rate over all accesses so far (0 if no accesses).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B
+        Cache::new(CacheConfig::new(512, 2, 1))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::new(8 * 1024 * 1024, 16, 30);
+        assert_eq!(c.sets(), 8192);
+        assert_eq!(c.lines(), 131072);
+        // Paper's odd sizes work too: 6KB 2-way => 48 sets.
+        let s = CacheConfig::new(6 * 1024, 2, 2);
+        assert_eq!(s.sets(), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of sets")]
+    fn bad_geometry_panics() {
+        CacheConfig::new(100, 3, 1);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(LineAddr(0), false).hit);
+        assert!(c.access(LineAddr(0), false).hit);
+        assert_eq!(c.counters(), (1, 1, 0));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 map to set 0 (4 sets).
+        c.access(LineAddr(0), false);
+        c.access(LineAddr(4), false);
+        c.access(LineAddr(0), false); // 0 now MRU, 4 LRU
+        c.access(LineAddr(8), false); // evicts 4
+        assert!(c.contains(LineAddr(0)));
+        assert!(!c.contains(LineAddr(4)));
+        assert!(c.contains(LineAddr(8)));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.access(LineAddr(0), true); // dirty
+        c.access(LineAddr(4), false);
+        let out = c.access(LineAddr(8), false); // evicts line 0 (LRU, dirty)
+        assert_eq!(out.writeback, Some(LineAddr(0)));
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = tiny();
+        c.access(LineAddr(0), false);
+        c.access(LineAddr(4), false);
+        let out = c.access(LineAddr(8), false);
+        assert_eq!(out.writeback, None);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(LineAddr(0), false);
+        c.access(LineAddr(0), true); // upgrade to dirty
+        c.access(LineAddr(4), false);
+        let out = c.access(LineAddr(8), false);
+        assert_eq!(out.writeback, Some(LineAddr(0)));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.access(LineAddr(0), true);
+        assert!(c.invalidate(LineAddr(0)));
+        assert!(!c.contains(LineAddr(0)));
+        assert!(!c.invalidate(LineAddr(0)));
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = tiny(); // 8 lines
+        for i in 0..100 {
+            c.access(LineAddr(i), false);
+        }
+        assert!(c.resident_lines() <= 8);
+    }
+
+    #[test]
+    fn victim_line_reconstruction_is_exact() {
+        let mut c = tiny();
+        // Fill set 1 with lines 1 and 5; then line 9 evicts line 1.
+        c.access(LineAddr(1), true);
+        c.access(LineAddr(5), true);
+        let out = c.access(LineAddr(9), false);
+        assert_eq!(out.writeback, Some(LineAddr(1)));
+    }
+}

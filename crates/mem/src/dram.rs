@@ -1,0 +1,118 @@
+//! Banked DRAM model: 8 banks, 45 ns access time (paper, Table 1).
+//!
+//! Each bank serves one request at a time; requests to a busy bank queue
+//! behind it. Lines are interleaved across banks by line address, which
+//! is what gives memory-level parallelism to streaming access patterns
+//! and serializes pathological same-bank streams.
+
+use crate::addr::LineAddr;
+use crate::Cycle;
+
+/// DRAM configuration in wall-clock units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Number of independent banks.
+    pub banks: usize,
+    /// Access (row activate + column read) time in nanoseconds.
+    pub access_ns: f64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            banks: 8,
+            access_ns: 45.0,
+        }
+    }
+}
+
+/// Stateful DRAM timing model.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    access_cycles: u64,
+    next_free: Vec<Cycle>,
+    accesses: u64,
+    total_queue_cycles: u64,
+}
+
+impl Dram {
+    /// Build a DRAM model; `freq_ghz` converts ns to core cycles.
+    pub fn new(cfg: &DramConfig, freq_ghz: f64) -> Self {
+        assert!(cfg.banks > 0, "DRAM needs at least one bank");
+        assert!(freq_ghz > 0.0, "frequency must be positive");
+        Dram {
+            access_cycles: (cfg.access_ns * freq_ghz).round().max(1.0) as u64,
+            next_free: vec![0; cfg.banks],
+            accesses: 0,
+            total_queue_cycles: 0,
+        }
+    }
+
+    /// Access latency of one bank, in core cycles.
+    pub fn access_cycles(&self) -> u64 {
+        self.access_cycles
+    }
+
+    /// Issue an access for `line` arriving at `now`; returns completion time.
+    pub fn access(&mut self, line: LineAddr, now: Cycle) -> Cycle {
+        let bank = (line.0 as usize) % self.next_free.len();
+        let start = now.max(self.next_free[bank]);
+        let done = start + self.access_cycles;
+        self.total_queue_cycles += start - now;
+        self.next_free[bank] = done;
+        self.accesses += 1;
+        done
+    }
+
+    /// Total accesses served.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Average cycles spent queued behind a busy bank.
+    pub fn avg_queue_cycles(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.total_queue_cycles as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_to_cycles_conversion() {
+        let d = Dram::new(&DramConfig::default(), 2.66);
+        assert_eq!(d.access_cycles(), 120); // 45ns * 2.66GHz = 119.7 -> 120
+        let d2 = Dram::new(&DramConfig::default(), 3.33);
+        assert_eq!(d2.access_cycles(), 150);
+    }
+
+    #[test]
+    fn different_banks_proceed_in_parallel() {
+        let mut d = Dram::new(&DramConfig::default(), 2.66);
+        let a = d.access(LineAddr(0), 0);
+        let b = d.access(LineAddr(1), 0);
+        assert_eq!(a, b); // different banks, same latency
+    }
+
+    #[test]
+    fn same_bank_serializes() {
+        let mut d = Dram::new(&DramConfig::default(), 2.66);
+        let a = d.access(LineAddr(0), 0);
+        let b = d.access(LineAddr(8), 0); // 8 banks -> same bank as line 0
+        assert_eq!(b, a + d.access_cycles());
+        assert!(d.avg_queue_cycles() > 0.0);
+    }
+
+    #[test]
+    fn idle_bank_starts_immediately() {
+        let mut d = Dram::new(&DramConfig::default(), 2.66);
+        d.access(LineAddr(0), 0);
+        let done = d.access(LineAddr(0), 10_000); // long after bank freed
+        assert_eq!(done, 10_000 + d.access_cycles());
+    }
+}

@@ -1,0 +1,573 @@
+//! The full chip memory system: per-core private L1I/L1D/L2, shared LLC
+//! behind a crossbar, and DRAM behind a bandwidth-limited bus.
+//!
+//! The walk is performed in a single call that both updates cache state
+//! (allocation, LRU, dirtiness, writebacks) and computes the completion
+//! time of the access, including queueing at the DRAM banks and the
+//! off-chip bus. MSHR-style merging is modeled: a second access to a
+//! line that is still in flight waits for the first fill rather than
+//! paying a second full miss.
+
+use std::collections::HashMap;
+
+use crate::addr::{Addr, LineAddr};
+use crate::bus::{Bus, BusConfig};
+use crate::cache::{Cache, CacheConfig};
+use crate::dram::{Dram, DramConfig};
+use crate::stats::{CoreMemStats, MemStats};
+use crate::{CoreId, Cycle};
+
+/// Kind of memory access issued by a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Instruction fetch (goes through the L1 I-cache).
+    Fetch,
+    /// Data load.
+    Load,
+    /// Data store (write-allocate, write-back).
+    Store,
+}
+
+/// Deepest level that had to be consulted to satisfy an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HitLevel {
+    /// Satisfied by the private L1 (I or D).
+    L1,
+    /// Satisfied by the private unified L2.
+    L2,
+    /// Satisfied by the shared last-level cache.
+    Llc,
+    /// Went to DRAM.
+    Dram,
+}
+
+/// Result of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Cycle at which the data is available to the core.
+    pub complete_at: Cycle,
+    /// Deepest level consulted.
+    pub level: HitLevel,
+}
+
+/// Private cache geometry for one core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivateCacheConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified private L2.
+    pub l2: CacheConfig,
+}
+
+impl PrivateCacheConfig {
+    /// Big core: 32 KB 4-way L1s, 256 KB 8-way L2 (Table 1).
+    pub fn big() -> Self {
+        PrivateCacheConfig {
+            l1i: CacheConfig::new(32 * 1024, 4, 3),
+            l1d: CacheConfig::new(32 * 1024, 4, 3),
+            l2: CacheConfig::new(256 * 1024, 8, 12),
+        }
+    }
+
+    /// Medium core: 16 KB 2-way L1s, 128 KB 4-way L2 (Table 1).
+    pub fn medium() -> Self {
+        PrivateCacheConfig {
+            l1i: CacheConfig::new(16 * 1024, 2, 3),
+            l1d: CacheConfig::new(16 * 1024, 2, 3),
+            l2: CacheConfig::new(128 * 1024, 4, 10),
+        }
+    }
+
+    /// Small core: 6 KB 2-way L1s, 48 KB 4-way L2 (Table 1).
+    pub fn small() -> Self {
+        PrivateCacheConfig {
+            l1i: CacheConfig::new(6 * 1024, 2, 2),
+            l1d: CacheConfig::new(6 * 1024, 2, 2),
+            l2: CacheConfig::new(48 * 1024, 4, 8),
+        }
+    }
+
+    /// "Large cache" variant of Section 8.1: medium/small cores with
+    /// big-core cache capacities.
+    pub fn with_big_caches(self) -> Self {
+        let big = Self::big();
+        PrivateCacheConfig {
+            l1i: CacheConfig {
+                latency: self.l1i.latency,
+                ..big.l1i
+            },
+            l1d: CacheConfig {
+                latency: self.l1d.latency,
+                ..big.l1d
+            },
+            l2: CacheConfig {
+                latency: self.l2.latency,
+                ..big.l2
+            },
+        }
+    }
+}
+
+/// Full chip memory-system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryConfig {
+    /// Private cache geometry per core (index = core id). Heterogeneous
+    /// chips simply mix entries.
+    pub per_core: Vec<PrivateCacheConfig>,
+    /// Shared last-level cache (8 MB, 16-way in the paper).
+    pub llc: CacheConfig,
+    /// One-way crossbar latency between a core's L2 and the LLC, cycles.
+    pub crossbar_latency: u64,
+    /// DRAM parameters.
+    pub dram: DramConfig,
+    /// Off-chip bus parameters.
+    pub bus: BusConfig,
+    /// Core clock in GHz; converts DRAM/bus wall time into cycles.
+    pub freq_ghz: f64,
+}
+
+impl MemoryConfig {
+    /// The paper's shared LLC: 8 MB, 16-way.
+    pub fn default_llc() -> CacheConfig {
+        CacheConfig::new(8 * 1024 * 1024, 16, 30)
+    }
+
+    /// A chip of `n` big cores with default shared resources. Mostly a
+    /// convenience for examples and tests.
+    pub fn big_core_chip(n: usize) -> Self {
+        MemoryConfig {
+            per_core: vec![PrivateCacheConfig::big(); n],
+            llc: Self::default_llc(),
+            crossbar_latency: 5,
+            dram: DramConfig::default(),
+            bus: BusConfig::default(),
+            freq_ghz: 2.66,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PrivateCaches {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    /// In-flight fills: line -> cycle the data arrives at this core.
+    mshr: HashMap<LineAddr, Cycle>,
+    stats: CoreMemStats,
+}
+
+impl PrivateCaches {
+    fn new(cfg: &PrivateCacheConfig) -> Self {
+        PrivateCaches {
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            mshr: HashMap::new(),
+            stats: CoreMemStats::default(),
+        }
+    }
+
+    fn prune_mshr(&mut self, now: Cycle) {
+        if self.mshr.len() > 64 {
+            self.mshr.retain(|_, &mut t| t > now);
+        }
+    }
+}
+
+/// The chip-wide memory system.
+///
+/// One instance models all private caches, the shared LLC, the crossbar,
+/// DRAM and the off-chip bus for a single simulated chip.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cores: Vec<PrivateCaches>,
+    llc: Cache,
+    /// In-flight LLC fills: line -> cycle the data arrives at the LLC.
+    llc_pending: HashMap<LineAddr, Cycle>,
+    dram: Dram,
+    bus: Bus,
+    crossbar_latency: u64,
+}
+
+impl MemorySystem {
+    /// Build the memory system for a chip.
+    pub fn new(cfg: &MemoryConfig) -> Self {
+        MemorySystem {
+            cores: cfg.per_core.iter().map(PrivateCaches::new).collect(),
+            llc: Cache::new(cfg.llc),
+            llc_pending: HashMap::new(),
+            dram: Dram::new(&cfg.dram, cfg.freq_ghz),
+            bus: Bus::new(&cfg.bus, cfg.freq_ghz),
+            crossbar_latency: cfg.crossbar_latency,
+        }
+    }
+
+    /// Number of cores this memory system serves.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Perform an access for `core` at cycle `now`.
+    ///
+    /// Updates all cache state (allocations, LRU, writebacks) and returns
+    /// when the data is available and how deep the access had to go.
+    ///
+    /// # Panics
+    /// Panics if `core` is out of range.
+    pub fn access(
+        &mut self,
+        core: CoreId,
+        kind: AccessKind,
+        addr: Addr,
+        now: Cycle,
+    ) -> AccessResult {
+        let line = addr.line();
+        let is_write = kind == AccessKind::Store;
+
+        // --- L1 ---
+        let (l1_lat, l1_out) = {
+            let pc = &mut self.cores[core];
+            let l1 = match kind {
+                AccessKind::Fetch => &mut pc.l1i,
+                AccessKind::Load | AccessKind::Store => &mut pc.l1d,
+            };
+            (l1.config().latency, l1.access(line, is_write))
+        };
+        {
+            let pc = &mut self.cores[core];
+            match kind {
+                AccessKind::Fetch => {
+                    if l1_out.hit {
+                        pc.stats.l1i_hits += 1
+                    } else {
+                        pc.stats.l1i_misses += 1
+                    }
+                }
+                _ => {
+                    if l1_out.hit {
+                        pc.stats.l1d_hits += 1
+                    } else {
+                        pc.stats.l1d_misses += 1
+                    }
+                }
+            }
+        }
+        if l1_out.hit {
+            let mut complete = now + l1_lat;
+            // Hit on a line whose fill is still in flight: wait for it.
+            if let Some(&t) = self.cores[core].mshr.get(&line) {
+                complete = complete.max(t);
+            }
+            return AccessResult {
+                complete_at: complete,
+                level: HitLevel::L1,
+            };
+        }
+        // L1 victim writeback goes to L2 (state only; timing folded into L2 lat).
+        if let Some(victim) = l1_out.writeback {
+            self.writeback_to_l2(core, victim, now);
+        }
+
+        // MSHR merge: the line is already being fetched for this core.
+        if let Some(&t) = self.cores[core].mshr.get(&line) {
+            if t > now {
+                let complete = t.max(now + l1_lat);
+                return AccessResult {
+                    complete_at: complete,
+                    level: HitLevel::L2, // charged as a near hit; fill in flight
+                };
+            }
+        }
+
+        // --- L2 ---
+        let t_l2 = now + l1_lat;
+        let (l2_lat, l2_out) = {
+            let l2 = &mut self.cores[core].l2;
+            (l2.config().latency, l2.access(line, false))
+        };
+        {
+            let s = &mut self.cores[core].stats;
+            if l2_out.hit {
+                s.l2_hits += 1
+            } else {
+                s.l2_misses += 1
+            }
+        }
+        if l2_out.hit {
+            return AccessResult {
+                complete_at: t_l2 + l2_lat,
+                level: HitLevel::L2,
+            };
+        }
+        if let Some(victim) = l2_out.writeback {
+            self.writeback_to_llc(victim, t_l2);
+        }
+
+        // --- LLC (over the crossbar) ---
+        let t_llc = t_l2 + l2_lat + self.crossbar_latency;
+        let llc_lat = self.llc.config().latency;
+        let llc_out = self.llc.access(line, false);
+        if llc_out.hit {
+            // Data may still be in flight towards the LLC (cross-core merge).
+            let mut data_at_llc = t_llc + llc_lat;
+            if let Some(&t) = self.llc_pending.get(&line) {
+                data_at_llc = data_at_llc.max(t);
+            }
+            let complete = data_at_llc + self.crossbar_latency;
+            self.fill_mshr(core, line, complete, now);
+            return AccessResult {
+                complete_at: complete,
+                level: HitLevel::Llc,
+            };
+        }
+        if let Some(victim) = llc_out.writeback {
+            // Dirty LLC victim consumes bus bandwidth (fire and forget).
+            self.bus.transfer(t_llc);
+            // The victim line is gone from the chip; nothing else to update.
+            let _ = victim;
+        }
+
+        // --- DRAM over the bus ---
+        let t_mem = t_llc + llc_lat;
+        let dram_done = self.dram.access(line, t_mem);
+        let data_at_llc = self.bus.transfer(dram_done);
+        self.llc_pending.insert(line, data_at_llc);
+        if self.llc_pending.len() > 256 {
+            self.llc_pending.retain(|_, &mut t| t > now);
+        }
+        let complete = data_at_llc + self.crossbar_latency;
+        self.fill_mshr(core, line, complete, now);
+        AccessResult {
+            complete_at: complete,
+            level: HitLevel::Dram,
+        }
+    }
+
+    fn fill_mshr(&mut self, core: CoreId, line: LineAddr, complete: Cycle, now: Cycle) {
+        let pc = &mut self.cores[core];
+        pc.mshr.insert(line, complete);
+        pc.prune_mshr(now);
+    }
+
+    fn writeback_to_l2(&mut self, core: CoreId, victim: LineAddr, now: Cycle) {
+        let out = self.cores[core].l2.access(victim, true);
+        if let Some(v2) = out.writeback {
+            self.writeback_to_llc(v2, now);
+        }
+    }
+
+    fn writeback_to_llc(&mut self, victim: LineAddr, now: Cycle) {
+        let out = self.llc.access(victim, true);
+        if out.writeback.is_some() {
+            self.bus.transfer(now);
+        }
+    }
+
+    /// Functionally install `addr`'s line into `core`'s private caches
+    /// and the shared LLC without advancing any timing state (no DRAM,
+    /// bus or MSHR activity, no hit/miss counters).
+    ///
+    /// This is SimPoint-style *functional warming*: it recreates the
+    /// steady-state cache contents a long-running benchmark would have,
+    /// so that short measurement windows are not dominated by cold
+    /// misses the paper's 750M-instruction samples never see. Capacity
+    /// and replacement are enforced by the real tag arrays, so regions
+    /// that do not fit stay (correctly) partially resident.
+    pub fn prewarm_line(&mut self, core: CoreId, kind: AccessKind, addr: Addr) {
+        let line = addr.line();
+        let pc = &mut self.cores[core];
+        match kind {
+            AccessKind::Fetch => {
+                pc.l1i.access(line, false);
+            }
+            AccessKind::Load | AccessKind::Store => {
+                pc.l1d.access(line, false);
+            }
+        }
+        pc.l2.access(line, false);
+        self.llc.access(line, false);
+    }
+
+    /// Reset all hit/miss/traffic counters (typically right after
+    /// pre-warming) without touching cache contents.
+    pub fn reset_counters(&mut self) {
+        for c in &mut self.cores {
+            c.stats = CoreMemStats::default();
+            c.l1i.reset_counters();
+            c.l1d.reset_counters();
+            c.l2.reset_counters();
+        }
+        self.llc.reset_counters();
+    }
+
+    /// Snapshot of all statistics.
+    pub fn stats(&self) -> MemStats {
+        let (llc_hits, llc_misses, _) = self.llc.counters();
+        MemStats {
+            per_core: self.cores.iter().map(|c| c.stats).collect(),
+            llc_hits,
+            llc_misses,
+            dram_accesses: self.dram.accesses(),
+            bus_bytes: self.bus.bytes(),
+            bus_avg_queue_cycles: self.bus.avg_queue_cycles(),
+            dram_avg_queue_cycles: self.dram.avg_queue_cycles(),
+        }
+    }
+
+    /// Direct access to the shared LLC (for tests and detailed stats).
+    pub fn llc(&self) -> &Cache {
+        &self.llc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_chip() -> MemorySystem {
+        MemorySystem::new(&MemoryConfig::big_core_chip(2))
+    }
+
+    #[test]
+    fn cold_miss_goes_to_dram() {
+        let mut m = small_chip();
+        let r = m.access(0, AccessKind::Load, Addr(0x10000), 0);
+        assert_eq!(r.level, HitLevel::Dram);
+        // l1(3) + l2(12) + xbar(5) + llc(30) + dram(120) + bus(21) + xbar(5)
+        assert!(r.complete_at >= 150, "got {}", r.complete_at);
+    }
+
+    #[test]
+    fn second_access_hits_l1_but_waits_for_fill() {
+        let mut m = small_chip();
+        let r1 = m.access(0, AccessKind::Load, Addr(0x10000), 0);
+        let r2 = m.access(0, AccessKind::Load, Addr(0x10008), 5);
+        assert_eq!(r2.level, HitLevel::L1);
+        // The L1 "hit" cannot complete before the fill arrives.
+        assert_eq!(r2.complete_at, r1.complete_at);
+        // Long after the fill, it's a plain L1 hit.
+        let r3 = m.access(0, AccessKind::Load, Addr(0x10000), 100_000);
+        assert_eq!(r3.complete_at, 100_000 + 3);
+    }
+
+    #[test]
+    fn cross_core_llc_sharing() {
+        let mut m = small_chip();
+        m.access(0, AccessKind::Load, Addr(0x20000), 0);
+        // Much later, core 1 reads the same line: LLC hit, no DRAM.
+        let before = m.stats().dram_accesses;
+        let r = m.access(1, AccessKind::Load, Addr(0x20000), 50_000);
+        assert_eq!(r.level, HitLevel::Llc);
+        assert_eq!(m.stats().dram_accesses, before);
+    }
+
+    #[test]
+    fn fetch_uses_icache() {
+        let mut m = small_chip();
+        m.access(0, AccessKind::Fetch, Addr(0x30000), 0);
+        let s = m.stats();
+        assert_eq!(s.per_core[0].l1i_misses, 1);
+        assert_eq!(s.per_core[0].l1d_misses, 0);
+    }
+
+    #[test]
+    fn stores_write_allocate_and_writeback_consumes_bus() {
+        // Stream stores through a tiny working set larger than all caches;
+        // eventually dirty lines must be written back over the bus.
+        let mut m = small_chip();
+        let mut now = 0;
+        // 16MB of store traffic > 8MB LLC
+        for i in 0..(16 * 1024 * 1024 / 64) {
+            let r = m.access(0, AccessKind::Store, Addr(i * 64), now);
+            now = r.complete_at;
+        }
+        let s = m.stats();
+        // bus bytes must exceed pure fill traffic (writebacks included)
+        assert!(s.bus_bytes > s.dram_accesses * 64, "writebacks missing");
+    }
+
+    #[test]
+    fn bandwidth_pressure_grows_queueing() {
+        // Two cores streaming disjoint data should contend on the bus.
+        let mut m = small_chip();
+        for i in 0..2_000u64 {
+            m.access(0, AccessKind::Load, Addr(0x100_0000 + i * 64), i * 4);
+            m.access(1, AccessKind::Load, Addr(0x900_0000 + i * 64), i * 4);
+        }
+        assert!(m.stats().bus_avg_queue_cycles > 1.0);
+    }
+
+    #[test]
+    fn heterogeneous_private_caches() {
+        let cfg = MemoryConfig {
+            per_core: vec![PrivateCacheConfig::big(), PrivateCacheConfig::small()],
+            llc: MemoryConfig::default_llc(),
+            crossbar_latency: 5,
+            dram: DramConfig::default(),
+            bus: BusConfig::default(),
+            freq_ghz: 2.66,
+        };
+        let mut m = MemorySystem::new(&cfg);
+        // A 16KB working set fits in the big core's 32KB L1 but not the
+        // small core's 6KB L1.
+        let lines = 16 * 1024 / 64;
+        for pass in 0..4u64 {
+            for i in 0..lines {
+                let t = pass * 100_000 + i * 10;
+                m.access(0, AccessKind::Load, Addr(i * 64), t);
+                m.access(1, AccessKind::Load, Addr(0x800_0000 + i * 64), t);
+            }
+        }
+        let s = m.stats();
+        let big_mr = s.per_core[0].l1d_misses as f64
+            / (s.per_core[0].l1d_hits + s.per_core[0].l1d_misses) as f64;
+        let small_mr = s.per_core[1].l1d_misses as f64
+            / (s.per_core[1].l1d_hits + s.per_core[1].l1d_misses) as f64;
+        assert!(
+            small_mr > big_mr * 2.0,
+            "small core should thrash: big {big_mr:.3} small {small_mr:.3}"
+        );
+    }
+
+    #[test]
+    fn llc_capacity_contention_between_cores() {
+        // Core 0 repeatedly touches a 4MB set; alone it should settle into
+        // LLC hits. When core 1 streams 16MB through the LLC, core 0's
+        // lines get evicted.
+        let cfg = MemoryConfig::big_core_chip(2);
+        let mut alone = MemorySystem::new(&cfg);
+        let hot_lines = 4 * 1024 * 1024 / 64;
+        let mut t = 0;
+        for pass in 0..3u64 {
+            for i in 0..hot_lines {
+                let r = alone.access(0, AccessKind::Load, Addr(i * 64), t);
+                t = r.complete_at;
+                let _ = pass;
+            }
+        }
+        let alone_dram = alone.stats().dram_accesses;
+
+        let mut shared = MemorySystem::new(&cfg);
+        let mut t = 0;
+        for pass in 0..3u64 {
+            for i in 0..hot_lines {
+                let r = shared.access(0, AccessKind::Load, Addr(i * 64), t);
+                // streaming co-runner
+                shared.access(
+                    1,
+                    AccessKind::Load,
+                    Addr(0x4000_0000 + (pass * hot_lines + i) * 64 * 4),
+                    t,
+                );
+                t = r.complete_at;
+            }
+        }
+        let shared_dram_core0: u64 = shared.stats().per_core[0].l2_misses;
+        let alone_l2miss = alone.stats().per_core[0].l2_misses;
+        // Same L2 behaviour but more of those misses now miss in LLC too.
+        assert_eq!(shared_dram_core0, alone_l2miss);
+        assert!(shared.stats().dram_accesses > alone_dram);
+    }
+}

@@ -1,0 +1,52 @@
+//! Aggregated memory-system statistics.
+
+/// Per-core cache statistics (private levels only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreMemStats {
+    /// L1 instruction cache hits / misses.
+    pub l1i_hits: u64,
+    pub l1i_misses: u64,
+    /// L1 data cache hits / misses.
+    pub l1d_hits: u64,
+    pub l1d_misses: u64,
+    /// Private unified L2 hits / misses.
+    pub l2_hits: u64,
+    pub l2_misses: u64,
+}
+
+impl CoreMemStats {
+    /// Total accesses that reached the private hierarchy.
+    pub fn accesses(&self) -> u64 {
+        self.l1i_hits + self.l1i_misses + self.l1d_hits + self.l1d_misses
+    }
+}
+
+/// Chip-wide memory statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemStats {
+    /// Per-core private-cache stats.
+    pub per_core: Vec<CoreMemStats>,
+    /// Shared LLC hits / misses.
+    pub llc_hits: u64,
+    pub llc_misses: u64,
+    /// DRAM accesses served.
+    pub dram_accesses: u64,
+    /// Bytes moved over the off-chip bus (fills + writebacks).
+    pub bus_bytes: u64,
+    /// Average queueing delay per bus transfer, in cycles.
+    pub bus_avg_queue_cycles: f64,
+    /// Average queueing delay per DRAM access, in cycles.
+    pub dram_avg_queue_cycles: f64,
+}
+
+impl MemStats {
+    /// LLC miss rate (0 when no LLC accesses happened).
+    pub fn llc_miss_rate(&self) -> f64 {
+        let t = self.llc_hits + self.llc_misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 / t as f64
+        }
+    }
+}

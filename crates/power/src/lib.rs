@@ -1,0 +1,298 @@
+//! # tlpsim-power — McPAT-like power and energy model
+//!
+//! The paper uses McPAT (45 nm, aggressive clock gating) to establish
+//! that one big core is power-equivalent to two medium or five small
+//! cores, and to produce the power/energy results of Section 7. McPAT
+//! itself is a large C++ RTL-level modeling tool; what the study
+//! actually consumes from it is a handful of aggregate numbers, so this
+//! crate implements an *event-based activity model calibrated to the
+//! published anchors*:
+//!
+//! * one active core (plus ~7 W of always-on uncore): ≈ 17.3 / 13.5 /
+//!   9.8 W for big / medium / small;
+//! * average busy-core power ratios ≈ 1.8× (big:medium) and 4.4×
+//!   (big:small);
+//! * 24-thread chip totals ≈ 46 / 50 / 45 W for 4B / 8m / 20s;
+//! * activating SMT contexts raises power much less than activating
+//!   cores (Figure 14: 4B goes from ~42 W at 4 threads to ~46 W at 24).
+//!
+//! Per core, power is `pipeline + caches + energy-per-instruction ×
+//! instruction rate`; the cache term scales with private cache capacity
+//! (so the Section 8.1 larger-cache variants cost more) and the
+//! frequency-proportional terms scale with clock (so the
+//! higher-frequency variants do too). Idle cores either burn a leakage
+//! fraction or are fully power-gated (Section 7).
+//!
+//! # Example
+//!
+//! ```
+//! use tlpsim_power::{PowerModel, CoreKind};
+//! use tlpsim_uarch::CoreConfig;
+//!
+//! let model = PowerModel::with_power_gating();
+//! assert_eq!(CoreKind::classify(&CoreConfig::big()), CoreKind::Big);
+//! // A fully idle, power-gated chip burns only the uncore power.
+//! assert!((model.uncore_w() - 7.0).abs() < 0.5);
+//! ```
+
+use tlpsim_uarch::{ChipConfig, CoreClass, CoreConfig, RunResult};
+
+/// The three core types of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreKind {
+    /// 4-wide out-of-order.
+    Big,
+    /// 2-wide out-of-order.
+    Medium,
+    /// 2-wide in-order.
+    Small,
+}
+
+impl CoreKind {
+    /// Classify a core configuration by pipeline class and width.
+    pub fn classify(cfg: &CoreConfig) -> CoreKind {
+        match (cfg.class, cfg.width) {
+            (CoreClass::OutOfOrder, 4..) => CoreKind::Big,
+            (CoreClass::OutOfOrder, _) => CoreKind::Medium,
+            (CoreClass::InOrder, _) => CoreKind::Small,
+        }
+    }
+
+    /// Calibrated pipeline (non-cache) power when busy, in watts at the
+    /// reference 2.66 GHz clock.
+    fn pipeline_w(self) -> f64 {
+        match self {
+            CoreKind::Big => 3.5,
+            CoreKind::Medium => 2.1,
+            CoreKind::Small => 0.9,
+        }
+    }
+
+    /// Average energy per committed instruction, nanojoules.
+    fn epi_nj(self) -> f64 {
+        match self {
+            CoreKind::Big => 0.35,
+            CoreKind::Medium => 0.20,
+            CoreKind::Small => 0.13,
+        }
+    }
+}
+
+/// Static power per KB of private cache, watts (45 nm SRAM leakage +
+/// clocking).
+const CACHE_W_PER_KB: f64 = 0.012;
+/// Fraction of busy power an idle (but not gated) core still burns.
+const IDLE_FRACTION: f64 = 0.45;
+/// Always-on uncore: shared LLC + DRAM interface (the paper's ~7 W).
+const UNCORE_W: f64 = 7.0;
+/// LLC access energy, nanojoules.
+const LLC_NJ: f64 = 1.2;
+/// DRAM access energy, nanojoules per access.
+const DRAM_NJ: f64 = 15.0;
+/// Reference clock for the calibration, GHz.
+const REF_GHZ: f64 = 2.66;
+
+/// Power/energy report for one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerReport {
+    /// Average chip power over the run, watts.
+    pub avg_power_w: f64,
+    /// Average per-core power, watts.
+    pub per_core_w: Vec<f64>,
+    /// Uncore average power (static + LLC/DRAM activity), watts.
+    pub uncore_w: f64,
+    /// Total energy of the run, joules.
+    pub energy_j: f64,
+    /// Wall-clock duration of the run, seconds.
+    pub wall_s: f64,
+}
+
+impl PowerReport {
+    /// Energy-delay product in joule-seconds.
+    pub fn edp(&self) -> f64 {
+        self.energy_j * self.wall_s
+    }
+}
+
+/// The chip-level power model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerModel {
+    gating: bool,
+}
+
+impl PowerModel {
+    /// Idle cores burn leakage (no power gating).
+    pub fn without_power_gating() -> Self {
+        PowerModel { gating: false }
+    }
+
+    /// Idle cores are power-gated to zero (Section 7's assumption).
+    pub fn with_power_gating() -> Self {
+        PowerModel { gating: true }
+    }
+
+    /// Whether idle cores are gated off.
+    pub fn power_gating(&self) -> bool {
+        self.gating
+    }
+
+    /// The always-on uncore power, watts.
+    pub fn uncore_w(&self) -> f64 {
+        UNCORE_W
+    }
+
+    /// Busy power of one core running at `ipc`, watts.
+    ///
+    /// Exposed for calibration tests; `report` integrates this over the
+    /// run's actual busy/idle profile.
+    pub fn busy_core_w(
+        &self,
+        cfg: &CoreConfig,
+        private_cache_kb: f64,
+        freq_ghz: f64,
+        ipc: f64,
+    ) -> f64 {
+        let kind = CoreKind::classify(cfg);
+        let fscale = freq_ghz / REF_GHZ;
+        (kind.pipeline_w() + CACHE_W_PER_KB * private_cache_kb) * fscale
+            + kind.epi_nj() * ipc * freq_ghz
+    }
+
+    /// Compute the power/energy report for a finished run on `chip`.
+    ///
+    /// # Panics
+    /// Panics if the run has a different core count than the chip.
+    pub fn report(&self, chip: &ChipConfig, run: &RunResult) -> PowerReport {
+        assert_eq!(chip.cores.len(), run.cores.len(), "chip/run mismatch");
+        let freq = chip.freq_ghz;
+        let wall_s = run.cycles as f64 / (freq * 1e9);
+        let mut per_core_w = Vec::with_capacity(chip.cores.len());
+        let mut core_energy = 0.0;
+
+        for (cfg, cs) in chip.cores.iter().zip(&run.cores) {
+            let kind = CoreKind::classify(cfg);
+            let caches = &chip.memory.per_core[per_core_w.len()];
+            let cache_kb = (caches.l1i.capacity_bytes
+                + caches.l1d.capacity_bytes
+                + caches.l2.capacity_bytes) as f64
+                / 1024.0;
+            let fscale = freq / REF_GHZ;
+            let base_w = (kind.pipeline_w() + CACHE_W_PER_KB * cache_kb) * fscale;
+
+            let busy_s = cs.busy_cycles as f64 / (freq * 1e9);
+            let idle_s = wall_s - busy_s;
+            let idle_w = if self.gating {
+                0.0
+            } else {
+                base_w * IDLE_FRACTION
+            };
+            // nJ * count = nJ; convert to J.
+            let dyn_j = kind.epi_nj() * cs.total_committed() as f64 * 1e-9;
+            let e = base_w * busy_s + idle_w * idle_s + dyn_j;
+            core_energy += e;
+            per_core_w.push(if wall_s > 0.0 { e / wall_s } else { 0.0 });
+        }
+
+        let llc_accesses = run.mem.llc_hits + run.mem.llc_misses;
+        let uncore_j = UNCORE_W * wall_s
+            + (LLC_NJ * llc_accesses as f64 + DRAM_NJ * run.mem.dram_accesses as f64) * 1e-9;
+        let uncore_w = if wall_s > 0.0 {
+            uncore_j / wall_s
+        } else {
+            UNCORE_W
+        };
+
+        let energy_j = core_energy + uncore_j;
+        PowerReport {
+            avg_power_w: if wall_s > 0.0 { energy_j / wall_s } else { 0.0 },
+            per_core_w,
+            uncore_w,
+            energy_j,
+            wall_s,
+        }
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::with_power_gating()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_kb(kind: CoreKind) -> f64 {
+        match kind {
+            CoreKind::Big => (32 + 32 + 256) as f64,
+            CoreKind::Medium => (16 + 16 + 128) as f64,
+            CoreKind::Small => (6 + 6 + 48) as f64,
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(CoreKind::classify(&CoreConfig::big()), CoreKind::Big);
+        assert_eq!(CoreKind::classify(&CoreConfig::medium()), CoreKind::Medium);
+        assert_eq!(CoreKind::classify(&CoreConfig::small()), CoreKind::Small);
+    }
+
+    #[test]
+    fn single_active_core_anchors() {
+        // Paper: one active core + uncore = 17.3 / 13.5 / 9.8 W.
+        let m = PowerModel::with_power_gating();
+        let b = m.busy_core_w(&CoreConfig::big(), cache_kb(CoreKind::Big), 2.66, 1.6) + UNCORE_W;
+        let md =
+            m.busy_core_w(&CoreConfig::medium(), cache_kb(CoreKind::Medium), 2.66, 1.2) + UNCORE_W;
+        let s =
+            m.busy_core_w(&CoreConfig::small(), cache_kb(CoreKind::Small), 2.66, 1.0) + UNCORE_W;
+        assert!((b - 17.3).abs() < 2.5, "big single-core {b}");
+        assert!((md - 13.5).abs() < 2.5, "medium single-core {md}");
+        assert!((s - 9.8).abs() < 1.5, "small single-core {s}");
+    }
+
+    #[test]
+    fn power_ratios_match_paper() {
+        // Busy-core (no uncore) ratios: B ~ 1.8x m, ~4.4x s.
+        let m = PowerModel::with_power_gating();
+        let b = m.busy_core_w(&CoreConfig::big(), cache_kb(CoreKind::Big), 2.66, 1.6);
+        let md = m.busy_core_w(&CoreConfig::medium(), cache_kb(CoreKind::Medium), 2.66, 1.2);
+        let s = m.busy_core_w(&CoreConfig::small(), cache_kb(CoreKind::Small), 2.66, 1.0);
+        let r_m = b / md;
+        let r_s = b / s;
+        assert!((r_m - 1.8).abs() < 0.35, "big/medium ratio {r_m}");
+        assert!((r_s - 4.4).abs() < 0.9, "big/small ratio {r_s}");
+    }
+
+    #[test]
+    fn chip_budget_equivalence() {
+        // 4 big ~ 8 medium ~ 20 small within ~15%.
+        let m = PowerModel::with_power_gating();
+        let b4 = 4.0 * m.busy_core_w(&CoreConfig::big(), cache_kb(CoreKind::Big), 2.66, 2.2);
+        let m8 = 8.0 * m.busy_core_w(&CoreConfig::medium(), cache_kb(CoreKind::Medium), 2.66, 1.5);
+        let s20 = 20.0 * m.busy_core_w(&CoreConfig::small(), cache_kb(CoreKind::Small), 2.66, 1.0);
+        let max = b4.max(m8).max(s20);
+        let min = b4.min(m8).min(s20);
+        assert!(
+            max / min < 1.35,
+            "budgets diverge: 4B={b4:.1} 8m={m8:.1} 20s={s20:.1}"
+        );
+    }
+
+    #[test]
+    fn frequency_scales_power() {
+        let m = PowerModel::with_power_gating();
+        let s266 = m.busy_core_w(&CoreConfig::small(), cache_kb(CoreKind::Small), 2.66, 1.0);
+        let s333 = m.busy_core_w(&CoreConfig::small(), cache_kb(CoreKind::Small), 3.33, 1.0);
+        assert!(s333 > s266 * 1.15 && s333 < s266 * 1.4);
+    }
+
+    #[test]
+    fn larger_caches_cost_power() {
+        let m = PowerModel::with_power_gating();
+        let small = m.busy_core_w(&CoreConfig::small(), cache_kb(CoreKind::Small), 2.66, 1.0);
+        let small_lc = m.busy_core_w(&CoreConfig::small(), cache_kb(CoreKind::Big), 2.66, 1.0);
+        assert!(small_lc > small * 1.5, "lc {small_lc} vs {small}");
+    }
+}

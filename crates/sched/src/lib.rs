@@ -1,0 +1,413 @@
+//! # tlpsim-sched — thread-to-core scheduling policies
+//!
+//! Implements the scheduling principles of Section 3.2:
+//!
+//! * **big cores first**: in a heterogeneous design, threads are
+//!   scheduled on the big core(s) before any smaller core;
+//! * **spread before SMT**: threads get a core to themselves while
+//!   cores remain; SMT contexts are engaged only when the active thread
+//!   count exceeds the core count;
+//! * **offline-analysis-guided mapping**: the paper runs every
+//!   benchmark in isolation on each core type and every small co-run
+//!   combination to pick the best schedule offline. This crate provides
+//!   the same decision through a *symbiosis heuristic* — threads with
+//!   the largest big-core benefit get the big cores, and SMT co-runner
+//!   groups are balanced so memory-intensive programs are paired with
+//!   compute-intensive ones (which is the pairing the exhaustive search
+//!   selects; see [`exhaustive_coschedule`] for the search itself, used
+//!   in tests and available for small instances);
+//! * **time-sharing**: without SMT, surplus threads round-robin on a
+//!   single context per core.
+//!
+//! The output of [`assign_threads`] is a list of `(core, slot)`
+//! placements directly consumable by `tlpsim_uarch::MultiCore::pin`.
+
+use tlpsim_uarch::{ChipConfig, CoreClass};
+
+/// A hardware placement for one software thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Core index within the chip.
+    pub core: usize,
+    /// SMT context slot on that core (several threads may share a slot;
+    /// the engine time-shares them).
+    pub slot: usize,
+}
+
+/// Per-thread scheduling inputs, produced by offline isolated profiling
+/// (the paper's offline analysis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadTraits {
+    /// Performance ratio big core / small core in isolation. Threads
+    /// with high benefit deserve the big cores.
+    pub big_core_benefit: f64,
+    /// Off-core traffic tendency in [0, 1]; used to balance SMT
+    /// co-runner groups (symbiosis).
+    pub memory_intensity: f64,
+}
+
+impl Default for ThreadTraits {
+    fn default() -> Self {
+        ThreadTraits {
+            big_core_benefit: 1.0,
+            memory_intensity: 0.5,
+        }
+    }
+}
+
+/// Rank of a core for the "big cores first" rule: higher = bigger.
+fn core_rank(chip: &ChipConfig, core: usize) -> (u8, u8, u16) {
+    let c = &chip.cores[core];
+    let class = match c.class {
+        CoreClass::OutOfOrder => 1,
+        CoreClass::InOrder => 0,
+    };
+    (class, c.width, c.rob_size)
+}
+
+/// Core indices sorted biggest-first (stable for equal ranks).
+pub fn cores_biggest_first(chip: &ChipConfig) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..chip.cores.len()).collect();
+    order.sort_by(|&a, &b| core_rank(chip, b).cmp(&core_rank(chip, a)).then(a.cmp(&b)));
+    order
+}
+
+/// Assign `traits.len()` threads to hardware contexts of `chip`.
+///
+/// Returns one [`Placement`] per thread (same order as `traits`).
+///
+/// * With `smt` **enabled**, threads spread across cores (biggest
+///   first) before engaging additional SMT contexts; co-runner groups
+///   are intensity-balanced (symbiosis). If the thread count exceeds
+///   the chip's total contexts, surplus threads time-share contexts.
+/// * With `smt` **disabled**, each core exposes one context; surplus
+///   threads time-share, biggest cores first.
+///
+/// # Panics
+/// Panics if `traits` is empty.
+pub fn assign_threads(chip: &ChipConfig, traits: &[ThreadTraits], smt: bool) -> Vec<Placement> {
+    assert!(!traits.is_empty(), "no threads to schedule");
+    let order = cores_biggest_first(chip);
+    let n = traits.len();
+
+    // Thread ids sorted by big-core benefit, highest first.
+    let mut by_benefit: Vec<usize> = (0..n).collect();
+    by_benefit.sort_by(|&a, &b| {
+        traits[b]
+            .big_core_benefit
+            .partial_cmp(&traits[a].big_core_benefit)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    let slots_per_core: Vec<usize> = order
+        .iter()
+        .map(|&c| {
+            if smt {
+                chip.cores[c].smt_contexts as usize
+            } else {
+                1
+            }
+        })
+        .collect();
+
+    let mut placements = vec![Placement { core: 0, slot: 0 }; n];
+    let mut assigned = 0usize;
+
+    // Round 0: dedicated cores, biggest first, best threads first.
+    let mut core_load: Vec<usize> = vec![0; order.len()]; // threads per core
+    let mut core_intensity: Vec<f64> = vec![0.0; order.len()];
+    for (pos, &c) in order.iter().enumerate() {
+        if assigned == n {
+            break;
+        }
+        let t = by_benefit[assigned];
+        placements[t] = Placement { core: c, slot: 0 };
+        core_load[pos] = 1;
+        core_intensity[pos] = traits[t].memory_intensity;
+        assigned += 1;
+    }
+
+    // Subsequent threads: symbiosis-balanced SMT filling. Prefer the
+    // biggest core with free contexts and the lowest accumulated memory
+    // intensity; ties biggest-first.
+    let mut rest: Vec<usize> = by_benefit[assigned..].to_vec();
+    // Most memory-intensive first, so they land next to compute threads.
+    rest.sort_by(|&a, &b| {
+        traits[b]
+            .memory_intensity
+            .partial_cmp(&traits[a].memory_intensity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    for t in rest {
+        // Candidate = core with a free hardware context; among those,
+        // minimize (intensity, then prefer bigger = earlier in order).
+        let cand = (0..order.len())
+            .filter(|&p| core_load[p] < slots_per_core[p])
+            .min_by(|&a, &b| {
+                core_intensity[a]
+                    .partial_cmp(&core_intensity[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+        let pos = match cand {
+            Some(p) => p,
+            // All contexts taken: time-share the least-loaded context,
+            // biggest core first.
+            None => (0..order.len())
+                .min_by(|&a, &b| core_load[a].cmp(&core_load[b]).then(a.cmp(&b)))
+                .expect("chip has cores"),
+        };
+        // Surplus threads beyond the context count wrap around and
+        // time-share the slots round-robin.
+        let slot = core_load[pos] % slots_per_core[pos];
+        placements[t] = Placement {
+            core: order[pos],
+            slot,
+        };
+        core_load[pos] += 1;
+        core_intensity[pos] += traits[t].memory_intensity;
+    }
+    placements
+}
+
+/// Exhaustively search co-schedules of `traits` over the cores of
+/// `chip` (SMT enabled), minimizing the variance of per-core memory
+/// intensity — the objective whose optimum the paper's offline search
+/// converges to for SMT co-scheduling. Exponential; intended for small
+/// instances and for validating [`assign_threads`] in tests.
+///
+/// Returns `(best_placements, best_score)`.
+///
+/// # Panics
+/// Panics if there are more threads than hardware contexts, or more
+/// than 12 threads (search-space guard).
+pub fn exhaustive_coschedule(chip: &ChipConfig, traits: &[ThreadTraits]) -> (Vec<Placement>, f64) {
+    let n = traits.len();
+    let total: usize = chip.cores.iter().map(|c| c.smt_contexts as usize).sum();
+    assert!(n <= total, "more threads than contexts");
+    assert!(n <= 12, "exhaustive search capped at 12 threads");
+
+    let caps: Vec<usize> = chip.cores.iter().map(|c| c.smt_contexts as usize).collect();
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    let mut cur = vec![0usize; n];
+
+    fn score(assign: &[usize], traits: &[ThreadTraits], ncores: usize) -> f64 {
+        let mut sums = vec![0.0f64; ncores];
+        let mut counts = vec![0usize; ncores];
+        for (t, &c) in assign.iter().enumerate() {
+            sums[c] += traits[t].memory_intensity;
+            counts[c] += 1;
+        }
+        let used: Vec<f64> = (0..ncores)
+            .filter(|&c| counts[c] > 0)
+            .map(|c| sums[c])
+            .collect();
+        if used.is_empty() {
+            return 0.0;
+        }
+        let mean = used.iter().sum::<f64>() / used.len() as f64;
+        used.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / used.len() as f64
+    }
+
+    fn rec(
+        i: usize,
+        n: usize,
+        caps: &[usize],
+        used: &mut Vec<usize>,
+        cur: &mut Vec<usize>,
+        traits: &[ThreadTraits],
+        best: &mut Option<(Vec<usize>, f64)>,
+    ) {
+        if i == n {
+            let s = score(cur, traits, caps.len());
+            if best.as_ref().map(|(_, b)| s < *b).unwrap_or(true) {
+                *best = Some((cur.clone(), s));
+            }
+            return;
+        }
+        for c in 0..caps.len() {
+            if used[c] < caps[c] {
+                used[c] += 1;
+                cur[i] = c;
+                rec(i + 1, n, caps, used, cur, traits, best);
+                used[c] -= 1;
+            }
+        }
+    }
+
+    let mut used = vec![0usize; caps.len()];
+    rec(0, n, &caps, &mut used, &mut cur, traits, &mut best);
+    let (assign, s) = best.expect("at least one assignment exists");
+
+    // Convert core choices to concrete slots.
+    let mut next_slot = vec![0usize; caps.len()];
+    let placements = assign
+        .iter()
+        .map(|&c| {
+            let p = Placement {
+                core: c,
+                slot: next_slot[c],
+            };
+            next_slot[c] += 1;
+            p
+        })
+        .collect();
+    (placements, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlpsim_uarch::{ChipConfig, CoreConfig};
+
+    fn het_chip() -> ChipConfig {
+        // 1 big + 2 medium + 2 small
+        ChipConfig::heterogeneous(
+            &[
+                CoreConfig::small(),
+                CoreConfig::big(),
+                CoreConfig::medium(),
+                CoreConfig::small(),
+                CoreConfig::medium(),
+            ],
+            2.66,
+        )
+    }
+
+    fn traits(v: &[(f64, f64)]) -> Vec<ThreadTraits> {
+        v.iter()
+            .map(|&(b, m)| ThreadTraits {
+                big_core_benefit: b,
+                memory_intensity: m,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn big_cores_first_ordering() {
+        let chip = het_chip();
+        let order = cores_biggest_first(&chip);
+        assert_eq!(order[0], 1); // the big core
+        assert_eq!(&order[1..3], &[2, 4]); // the mediums
+        assert_eq!(&order[3..], &[0, 3]); // the smalls
+    }
+
+    #[test]
+    fn single_thread_lands_on_big_core() {
+        let chip = het_chip();
+        let p = assign_threads(&chip, &traits(&[(2.0, 0.3)]), true);
+        assert_eq!(p[0], Placement { core: 1, slot: 0 });
+    }
+
+    #[test]
+    fn highest_benefit_thread_gets_the_big_core() {
+        let chip = het_chip();
+        let p = assign_threads(&chip, &traits(&[(1.1, 0.5), (3.0, 0.1), (1.5, 0.9)]), true);
+        assert_eq!(p[1].core, 1, "benefit 3.0 thread must get the big core");
+        // Others go to the medium cores before any small core.
+        assert!([2, 4].contains(&p[0].core));
+        assert!([2, 4].contains(&p[2].core));
+    }
+
+    #[test]
+    fn spread_before_smt() {
+        let chip = ChipConfig::homogeneous(4, CoreConfig::big(), 2.66);
+        let tr = traits(&[(1.0, 0.5); 4]);
+        let p = assign_threads(&chip, &tr, true);
+        let mut cores: Vec<usize> = p.iter().map(|x| x.core).collect();
+        cores.sort_unstable();
+        assert_eq!(cores, vec![0, 1, 2, 3], "4 threads on 4 distinct cores");
+        assert!(p.iter().all(|x| x.slot == 0));
+    }
+
+    #[test]
+    fn smt_engaged_beyond_core_count() {
+        let chip = ChipConfig::homogeneous(4, CoreConfig::big(), 2.66);
+        let tr = traits(&[(1.0, 0.5); 6]);
+        let p = assign_threads(&chip, &tr, true);
+        let mut per_core = [0usize; 4];
+        for x in &p {
+            per_core[x.core] += 1;
+        }
+        assert_eq!(per_core.iter().sum::<usize>(), 6);
+        assert!(
+            per_core.iter().all(|&c| c <= 2),
+            "max 2 per core for 6 threads"
+        );
+        // No slot collisions.
+        let mut pairs: Vec<(usize, usize)> = p.iter().map(|x| (x.core, x.slot)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 6);
+    }
+
+    #[test]
+    fn symbiosis_pairs_memory_with_compute() {
+        let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66);
+        // Two memory hogs, two compute threads.
+        let tr = traits(&[(1.0, 0.9), (1.0, 0.9), (1.0, 0.05), (1.0, 0.05)]);
+        let p = assign_threads(&chip, &tr, true);
+        // The two memory hogs must not share a core.
+        assert_ne!(p[0].core, p[1].core, "memory hogs must be split");
+        assert_ne!(p[2].core, p[3].core, "compute threads must be split");
+    }
+
+    #[test]
+    fn no_smt_time_shares_beyond_core_count() {
+        let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66);
+        let tr = traits(&[(1.0, 0.5); 5]);
+        let p = assign_threads(&chip, &tr, false);
+        assert!(p.iter().all(|x| x.slot == 0), "no SMT slots without SMT");
+        let mut per_core = [0usize; 2];
+        for x in &p {
+            per_core[x.core] += 1;
+        }
+        per_core.sort_unstable();
+        assert_eq!(per_core, [2, 3], "balanced time-sharing");
+    }
+
+    #[test]
+    fn overload_with_smt_time_shares() {
+        let chip = ChipConfig::homogeneous(1, CoreConfig::big(), 2.66);
+        let tr = traits(&[(1.0, 0.5); 8]); // 8 threads, 6 contexts
+        let p = assign_threads(&chip, &tr, true);
+        let mut slot_counts = std::collections::HashMap::new();
+        for x in &p {
+            *slot_counts.entry((x.core, x.slot)).or_insert(0usize) += 1;
+        }
+        assert_eq!(slot_counts.values().sum::<usize>(), 8);
+        assert!(slot_counts.values().all(|&c| c <= 2));
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_small_instance() {
+        let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66);
+        let tr = traits(&[(1.0, 0.8), (1.0, 0.7), (1.0, 0.1), (1.0, 0.2)]);
+        let (best, best_score) = exhaustive_coschedule(&chip, &tr);
+        // Greedy assignment must reach the same intensity balance.
+        let greedy = assign_threads(&chip, &tr, true);
+        let sum_for = |p: &[Placement], core: usize| -> f64 {
+            p.iter()
+                .zip(&tr)
+                .filter(|(x, _)| x.core == core)
+                .map(|(_, t)| t.memory_intensity)
+                .sum()
+        };
+        let g = (sum_for(&greedy, 0) - sum_for(&greedy, 1)).abs();
+        let b = (sum_for(&best, 0) - sum_for(&best, 1)).abs();
+        assert!(g <= b + 1e-9, "greedy imbalance {g} vs exhaustive {b}");
+        assert!(best_score >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no threads")]
+    fn empty_traits_panic() {
+        assign_threads(
+            &ChipConfig::homogeneous(1, CoreConfig::big(), 2.66),
+            &[],
+            true,
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! Core and chip configurations (Table 1 of the paper).
+
+use tlpsim_mem::{BusConfig, DramConfig, MemoryConfig, PrivateCacheConfig};
+
+/// Pipeline organization class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreClass {
+    /// Out-of-order issue within a reorder-buffer window.
+    OutOfOrder,
+    /// In-order (scoreboarded) issue; fine-grained multithreading.
+    InOrder,
+}
+
+/// SMT fetch policy (Tullsen et al.). The paper simulates round-robin;
+/// ICOUNT is provided for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FetchPolicy {
+    /// Rotate fetch priority across contexts each cycle (the paper's
+    /// configuration, after Raasch & Reinhardt).
+    #[default]
+    RoundRobin,
+    /// Prioritize the context with the fewest in-flight instructions
+    /// (ICOUNT), which starves stalled threads less resources.
+    ICount,
+}
+
+/// How the reorder buffer is divided among SMT contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RobSharing {
+    /// Equal static partitions per active context (the paper's model).
+    #[default]
+    StaticPartition,
+    /// Fully shared: any context may fill the whole window (bounded by
+    /// total occupancy). Provided for the ablation study.
+    Shared,
+}
+
+/// Functional-unit counts (issue slots per class per cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuConfig {
+    /// Integer ALUs (also execute branches).
+    pub int_alu: u8,
+    /// Load/store ports.
+    pub ldst: u8,
+    /// Integer multiply/divide units.
+    pub muldiv: u8,
+    /// Floating-point units.
+    pub fp: u8,
+}
+
+/// Microarchitectural parameters of one core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreConfig {
+    /// Pipeline class.
+    pub class: CoreClass,
+    /// Fetch/dispatch/issue/commit width.
+    pub width: u8,
+    /// Reorder-buffer entries (ignored for in-order cores).
+    pub rob_size: u16,
+    /// Functional units.
+    pub fus: FuConfig,
+    /// Maximum SMT hardware contexts.
+    pub smt_contexts: u8,
+    /// Cycles from branch execute to fetch redirect on a mispredict.
+    pub mispredict_penalty: u64,
+    /// SMT fetch policy.
+    pub fetch_policy: FetchPolicy,
+    /// ROB division among contexts.
+    pub rob_sharing: RobSharing,
+}
+
+impl CoreConfig {
+    /// Big core: 4-wide OoO, 128-entry ROB, 3 int + 2 ld/st + 1 mul/div
+    /// + 1 FP, up to 6 SMT threads (Table 1).
+    pub fn big() -> Self {
+        CoreConfig {
+            class: CoreClass::OutOfOrder,
+            width: 4,
+            rob_size: 128,
+            fus: FuConfig {
+                int_alu: 3,
+                ldst: 2,
+                muldiv: 1,
+                fp: 1,
+            },
+            smt_contexts: 6,
+            mispredict_penalty: 12,
+            fetch_policy: FetchPolicy::default(),
+            rob_sharing: RobSharing::default(),
+        }
+    }
+
+    /// Medium core: 2-wide OoO, 32-entry ROB, 2 int + 1 ld/st + 1
+    /// mul/div + 1 FP, up to 3 SMT threads (Table 1).
+    pub fn medium() -> Self {
+        CoreConfig {
+            class: CoreClass::OutOfOrder,
+            width: 2,
+            rob_size: 32,
+            fus: FuConfig {
+                int_alu: 2,
+                ldst: 1,
+                muldiv: 1,
+                fp: 1,
+            },
+            smt_contexts: 3,
+            mispredict_penalty: 9,
+            fetch_policy: FetchPolicy::default(),
+            rob_sharing: RobSharing::default(),
+        }
+    }
+
+    /// Small core: 2-wide in-order, 2 int + 1 ld/st + 1 mul/div + 1 FP,
+    /// up to 2 threads via fine-grained multithreading (Table 1).
+    pub fn small() -> Self {
+        CoreConfig {
+            class: CoreClass::InOrder,
+            width: 2,
+            rob_size: 16, // in-flight buffer, not a true ROB
+            fus: FuConfig {
+                int_alu: 2,
+                ldst: 1,
+                muldiv: 1,
+                fp: 1,
+            },
+            smt_contexts: 2,
+            mispredict_penalty: 6,
+            fetch_policy: FetchPolicy::default(),
+            rob_sharing: RobSharing::default(),
+        }
+    }
+
+    /// Private-cache geometry matching this core type (Table 1 sizes,
+    /// selected by width/class).
+    pub fn matching_caches(&self) -> PrivateCacheConfig {
+        match (self.class, self.width) {
+            (CoreClass::OutOfOrder, 4..) => PrivateCacheConfig::big(),
+            (CoreClass::OutOfOrder, _) => PrivateCacheConfig::medium(),
+            (CoreClass::InOrder, _) => PrivateCacheConfig::small(),
+        }
+    }
+}
+
+/// A full chip: per-core configurations plus the shared memory system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipConfig {
+    /// Core microarchitectures (index = core id).
+    pub cores: Vec<CoreConfig>,
+    /// Memory system (must have one private-cache entry per core).
+    pub memory: MemoryConfig,
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Time-sharing quantum in cycles (used when several software
+    /// threads share one hardware context).
+    pub quantum_cycles: u64,
+    /// Pipeline-refill / OS overhead charged on a context switch.
+    pub switch_penalty_cycles: u64,
+}
+
+impl ChipConfig {
+    /// A homogeneous chip of `n` identical cores with matching private
+    /// caches and default shared resources.
+    pub fn homogeneous(n: usize, core: CoreConfig, freq_ghz: f64) -> Self {
+        Self::heterogeneous(&vec![core; n], freq_ghz)
+    }
+
+    /// A chip from an explicit per-core list.
+    ///
+    /// # Panics
+    /// Panics if `cores` is empty.
+    pub fn heterogeneous(cores: &[CoreConfig], freq_ghz: f64) -> Self {
+        assert!(!cores.is_empty(), "a chip needs at least one core");
+        let per_core = cores.iter().map(|c| c.matching_caches()).collect();
+        ChipConfig {
+            cores: cores.to_vec(),
+            memory: MemoryConfig {
+                per_core,
+                llc: MemoryConfig::default_llc(),
+                crossbar_latency: 5,
+                dram: DramConfig::default(),
+                bus: BusConfig::default(),
+                freq_ghz,
+            },
+            freq_ghz,
+            quantum_cycles: 20_000,
+            switch_penalty_cycles: 1_000,
+        }
+    }
+
+    /// Total hardware thread contexts on the chip.
+    pub fn total_contexts(&self) -> usize {
+        self.cores.iter().map(|c| c.smt_contexts as usize).sum()
+    }
+
+    /// Disable SMT: every core exposes a single hardware context.
+    pub fn without_smt(mut self) -> Self {
+        for c in &mut self.cores {
+            c.smt_contexts = 1;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_core_parameters() {
+        let b = CoreConfig::big();
+        assert_eq!((b.width, b.rob_size, b.smt_contexts), (4, 128, 6));
+        assert_eq!(b.fus.int_alu, 3);
+        assert_eq!(b.fus.ldst, 2);
+        let m = CoreConfig::medium();
+        assert_eq!((m.width, m.rob_size, m.smt_contexts), (2, 32, 3));
+        let s = CoreConfig::small();
+        assert_eq!(s.class, CoreClass::InOrder);
+        assert_eq!(s.smt_contexts, 2);
+    }
+
+    #[test]
+    fn matching_caches_follow_core_type() {
+        assert_eq!(
+            CoreConfig::big().matching_caches(),
+            PrivateCacheConfig::big()
+        );
+        assert_eq!(
+            CoreConfig::medium().matching_caches(),
+            PrivateCacheConfig::medium()
+        );
+        assert_eq!(
+            CoreConfig::small().matching_caches(),
+            PrivateCacheConfig::small()
+        );
+    }
+
+    #[test]
+    fn chip_builders() {
+        let chip = ChipConfig::homogeneous(4, CoreConfig::big(), 2.66);
+        assert_eq!(chip.cores.len(), 4);
+        assert_eq!(chip.memory.per_core.len(), 4);
+        assert_eq!(chip.total_contexts(), 24);
+        let nosmt = chip.without_smt();
+        assert_eq!(nosmt.total_contexts(), 4);
+    }
+
+    #[test]
+    fn heterogeneous_chip_mixes_caches() {
+        let chip = ChipConfig::heterogeneous(&[CoreConfig::big(), CoreConfig::small()], 2.66);
+        assert_eq!(chip.memory.per_core[0], PrivateCacheConfig::big());
+        assert_eq!(chip.memory.per_core[1], PrivateCacheConfig::small());
+    }
+}

@@ -1,0 +1,573 @@
+//! The per-core pipeline model.
+//!
+//! One [`CoreModel`] simulates one core (out-of-order or in-order) with
+//! its SMT hardware contexts ("slots"). Each cycle performs, in order:
+//! commit, issue, fetch/dispatch, and drain detection. The model is
+//! trace-driven: branch mispredictions stall fetch from the offending
+//! context until the branch executes plus a redirect penalty (wrong-path
+//! instructions are not simulated).
+//!
+//! ## SMT resource sharing (the paper's model)
+//!
+//! * **ROB**: statically partitioned among *active* contexts
+//!   (`rob_size / active_contexts`), re-split when threads block or
+//!   wake, per Raasch & Reinhardt's static partitioning.
+//! * **Fetch**: round-robin — one context fetches up to `width`
+//!   instructions per cycle.
+//! * **Issue**: shared `width` and shared functional units per cycle;
+//!   round-robin priority rotation across contexts. In-order cores issue
+//!   from a single context per cycle (fine-grained multithreading,
+//!   skipping stalled contexts).
+//! * **Commit**: shared `width`, round-robin across contexts.
+
+use std::collections::VecDeque;
+
+use tlpsim_mem::{AccessKind, Addr, Cycle, MemorySystem};
+use tlpsim_workloads::InstrKind;
+
+use crate::config::{CoreClass, CoreConfig, FetchPolicy, RobSharing};
+use crate::program::{FetchOutcome, ProgramState, ThreadCtl, RING};
+use crate::stats::CoreStats;
+use crate::ThreadId;
+
+const RING_MASK: u64 = (RING as u64) - 1;
+/// Max unissued entries inspected per context per cycle (scheduler
+/// selection-logic depth).
+const ISSUE_SCAN: usize = 32;
+/// Sentinel producer meaning "no register dependence".
+const NO_DEP: u64 = u64::MAX;
+
+/// Why a context stopped fetching and must drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pending {
+    /// Thread will block (barrier / lock / critical-section boundary).
+    Block(ProgramState),
+    /// Thread finished its program.
+    Finish,
+    /// Time-sharing quantum expired; rotate the slot's thread queue.
+    Switch,
+}
+
+/// An event the engine must resolve at end of cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Drained {
+    pub tid: ThreadId,
+    pub core: usize,
+    pub slot: usize,
+    pub pending: Pending,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    seq: u64,
+    kind: InstrKind,
+    prod1: u64,
+    prod2: u64,
+    addr: Addr,
+    mispredicted: bool,
+    issued: bool,
+    done_at: Cycle,
+}
+
+/// One SMT hardware context.
+#[derive(Debug)]
+pub(crate) struct Slot {
+    /// Threads assigned to this context; front = resident.
+    pub threads: VecDeque<ThreadId>,
+    quantum_left: u64,
+    fetch_blocked_until: Cycle,
+    /// Sequence number of an in-flight mispredicted branch gating fetch.
+    awaiting_redirect: Option<u64>,
+    rob: VecDeque<RobEntry>,
+    pub(crate) pending: Option<Pending>,
+    /// New work was dispatched since the last issue scan.
+    issue_dirty: bool,
+    /// Earliest cycle at which a future issue scan can find work, when
+    /// the last full scan found nothing ready (exact: dependences are
+    /// thread-local, so only a completion in this slot changes it).
+    issue_wake: Cycle,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            threads: VecDeque::new(),
+            quantum_left: 0,
+            fetch_blocked_until: 0,
+            awaiting_redirect: None,
+            rob: VecDeque::new(),
+            pending: None,
+            issue_dirty: true,
+            issue_wake: 0,
+        }
+    }
+
+    /// The resident (front) thread, if any.
+    pub fn resident(&self) -> Option<ThreadId> {
+        self.threads.front().copied()
+    }
+
+    pub(crate) fn is_drained(&self) -> bool {
+        self.rob.is_empty()
+    }
+
+    /// Reset per-residency state after a context switch.
+    pub(crate) fn on_switch_in(&mut self, now: Cycle, switch_penalty: u64, quantum: u64) {
+        debug_assert!(self.rob.is_empty());
+        self.fetch_blocked_until = now + switch_penalty;
+        self.awaiting_redirect = None;
+        self.quantum_left = quantum;
+        self.issue_dirty = true;
+        self.issue_wake = 0;
+    }
+}
+
+/// Cycle-stepped model of one core.
+#[derive(Debug)]
+pub struct CoreModel {
+    cfg: CoreConfig,
+    core_id: usize,
+    slots: Vec<Slot>,
+    /// Round-robin grant pointers (advance past the last serviced
+    /// context, the standard starvation-free RR arbiter).
+    rr_fetch: usize,
+    rr_issue: usize,
+    rr_commit: usize,
+    stats: CoreStats,
+    #[allow(dead_code)] // reserved for engine-side quantum refresh
+    quantum: u64,
+}
+
+impl CoreModel {
+    /// Build an idle core.
+    pub fn new(cfg: CoreConfig, core_id: usize, quantum: u64) -> Self {
+        let slots = (0..cfg.smt_contexts).map(|_| Slot::new()).collect();
+        CoreModel {
+            cfg,
+            core_id,
+            slots,
+            rr_fetch: 0,
+            rr_issue: 0,
+            rr_commit: 0,
+            stats: CoreStats::default(),
+            quantum,
+        }
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    #[allow(dead_code)] // symmetric accessor; engine uses slots_mut
+    pub(crate) fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    pub(crate) fn slots_mut(&mut self) -> &mut [Slot] {
+        &mut self.slots
+    }
+
+    /// Number of contexts whose resident thread is runnable.
+    fn active_contexts(&self, threads: &[ThreadCtl]) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| {
+                s.resident()
+                    .map(|t| threads[t].state == ProgramState::Runnable)
+                    .unwrap_or(false)
+            })
+            .count()
+    }
+
+    /// Current per-context ROB partition cap.
+    fn partition_cap(&self, active: usize) -> usize {
+        match self.cfg.rob_sharing {
+            RobSharing::StaticPartition => (self.cfg.rob_size as usize) / active.max(1),
+            // Shared window: any context may fill it; total occupancy is
+            // enforced separately in fetch_dispatch.
+            RobSharing::Shared => self.cfg.rob_size as usize,
+        }
+    }
+
+    /// Total ROB occupancy across contexts (shared-window accounting).
+    fn total_occupancy(&self) -> usize {
+        self.slots.iter().map(|s| s.rob.len()).sum()
+    }
+
+    /// Advance this core by one cycle.
+    pub(crate) fn cycle(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemorySystem,
+        threads: &mut [ThreadCtl],
+        events: &mut Vec<Drained>,
+    ) {
+        let nslots = self.slots.len();
+        let active = self.active_contexts(threads);
+        self.stats.cycles += 1;
+        if active > 0 {
+            self.stats.busy_cycles += 1;
+            self.stats.active_ctx_cycles += active as u64;
+        }
+        let cap = self.partition_cap(active);
+
+        // Fully unpopulated core: nothing can happen this cycle.
+        if active == 0 && self.slots.iter().all(|s| s.threads.is_empty()) {
+            return;
+        }
+
+        self.commit(now, threads);
+        self.issue(now, mem, threads);
+        self.fetch_dispatch(now, mem, threads, cap);
+
+        // Time-sharing quantum accounting.
+        for s in self.slots.iter_mut() {
+            if s.threads.len() > 1 && s.pending.is_none() {
+                if let Some(t) = s.threads.front() {
+                    if threads[*t].state == ProgramState::Runnable {
+                        s.quantum_left = s.quantum_left.saturating_sub(1);
+                        if s.quantum_left == 0 {
+                            s.pending = Some(Pending::Switch);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Drain detection.
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if let Some(p) = s.pending {
+                if s.rob.is_empty() {
+                    if let Some(tid) = s.resident() {
+                        s.pending = None;
+                        events.push(Drained {
+                            tid,
+                            core: self.core_id,
+                            slot: i,
+                            pending: p,
+                        });
+                    } else {
+                        s.pending = None;
+                    }
+                }
+            }
+        }
+
+        let _ = nslots;
+    }
+
+    fn commit(&mut self, now: Cycle, threads: &mut [ThreadCtl]) {
+        let mut budget = self.cfg.width as usize;
+        let nslots = self.slots.len();
+        let start = self.rr_commit;
+        let mut last_granted = None;
+        for k in 0..nslots {
+            if budget == 0 {
+                break;
+            }
+            let slot_idx = (start + k) % nslots;
+            let s = &mut self.slots[slot_idx];
+            let Some(tid) = s.resident() else { continue };
+            let before = budget;
+            while budget > 0 {
+                let Some(head) = s.rob.front() else { break };
+                if !head.issued || head.done_at > now {
+                    break;
+                }
+                let kind = head.kind;
+                s.rob.pop_front();
+                budget -= 1;
+                self.stats.record_commit(kind);
+                let t = &mut threads[tid];
+                t.committed += 1;
+                if t.finish_cycle.is_none() {
+                    if let (Some(w), Some(b)) = (t.program.warmup(), t.program.budget()) {
+                        if t.start_cycle.is_none() && t.committed >= w {
+                            t.start_cycle = Some(now);
+                        }
+                        if t.committed >= w + b {
+                            t.finish_cycle = Some(now);
+                        }
+                    }
+                }
+            }
+            if budget < before {
+                last_granted = Some(slot_idx);
+            }
+        }
+        self.rr_commit = match last_granted {
+            Some(i) => (i + 1) % nslots.max(1),
+            None => (start + 1) % nslots.max(1),
+        };
+    }
+
+    fn issue(&mut self, now: Cycle, mem: &mut MemorySystem, threads: &mut [ThreadCtl]) {
+        let mut budget = self.cfg.width as usize;
+        let mut fu = self.cfg.fus;
+        let nslots = self.slots.len();
+        let inorder = self.cfg.class == CoreClass::InOrder;
+        let penalty = self.cfg.mispredict_penalty;
+        let core_id = self.core_id;
+
+        let start = self.rr_issue;
+        let mut last_granted = None;
+        for k in 0..nslots {
+            if budget == 0 {
+                break;
+            }
+            let slot_idx = (start + k) % nslots;
+            let s = &mut self.slots[slot_idx];
+            let Some(tid) = s.resident() else { continue };
+            // Readiness in a slot only changes when one of its own
+            // in-flight instructions completes (dependences are
+            // thread-local) or when new instructions dispatch. If a
+            // previous full scan found nothing ready, sleep until the
+            // next completion.
+            if !s.issue_dirty && s.issue_wake > now {
+                continue;
+            }
+            let ring = &mut threads[tid].done_ring;
+
+            let mut inspected = 0usize;
+            let mut issued_here = 0usize;
+            let mut fu_blocked = false;
+            let mut next_completion = Cycle::MAX;
+            for e in s.rob.iter_mut() {
+                if budget == 0 || inspected >= ISSUE_SCAN {
+                    fu_blocked = true; // scan truncated: can't conclude idle
+                    break;
+                }
+                if e.issued {
+                    if e.done_at > now {
+                        next_completion = next_completion.min(e.done_at);
+                    }
+                    continue;
+                }
+                inspected += 1;
+                let r1 = e.prod1 == NO_DEP || ring[(e.prod1 & RING_MASK) as usize] <= now;
+                let r2 = e.prod2 == NO_DEP || ring[(e.prod2 & RING_MASK) as usize] <= now;
+                if !(r1 && r2) {
+                    if inorder {
+                        break; // strict program-order issue
+                    }
+                    continue;
+                }
+                // Functional-unit availability.
+                let unit = match e.kind {
+                    InstrKind::IntAlu | InstrKind::Branch => &mut fu.int_alu,
+                    InstrKind::IntMul | InstrKind::IntDiv => &mut fu.muldiv,
+                    InstrKind::FpAlu => &mut fu.fp,
+                    InstrKind::Load | InstrKind::Store => &mut fu.ldst,
+                };
+                if *unit == 0 {
+                    fu_blocked = true; // ready entry exists; retry next cycle
+                    if inorder {
+                        break;
+                    }
+                    continue;
+                }
+                *unit -= 1;
+                budget -= 1;
+                issued_here += 1;
+                self.stats.issued += 1;
+
+                let done_at = match e.kind {
+                    InstrKind::Load => {
+                        mem.access(core_id, AccessKind::Load, e.addr, now)
+                            .complete_at
+                    }
+                    InstrKind::Store => {
+                        // Stores retire through the store buffer; the
+                        // access updates cache/bus state but does not
+                        // stall dependents or commit.
+                        mem.access(core_id, AccessKind::Store, e.addr, now);
+                        now + 1
+                    }
+                    k => now + k.exec_latency(),
+                };
+                e.issued = true;
+                e.done_at = done_at;
+                if done_at > now {
+                    next_completion = next_completion.min(done_at);
+                }
+                ring[(e.seq & RING_MASK) as usize] = done_at;
+
+                if e.mispredicted && s.awaiting_redirect == Some(e.seq) {
+                    s.awaiting_redirect = None;
+                    s.fetch_blocked_until = done_at + penalty;
+                }
+            }
+            // Record when this slot could next make issue progress.
+            s.issue_dirty = false;
+            s.issue_wake = if issued_here > 0 || fu_blocked {
+                now + 1
+            } else {
+                next_completion
+            };
+            if issued_here > 0 {
+                last_granted = Some(slot_idx);
+            }
+            if inorder && issued_here > 0 {
+                // Fine-grained MT: only one context issues per cycle;
+                // stalled contexts yield the cycle to the next one.
+                break;
+            }
+        }
+        self.rr_issue = match last_granted {
+            Some(i) => (i + 1) % nslots.max(1),
+            None => (start + 1) % nslots.max(1),
+        };
+    }
+
+    fn fetch_dispatch(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemorySystem,
+        threads: &mut [ThreadCtl],
+        cap: usize,
+    ) {
+        let nslots = self.slots.len();
+        let width = self.cfg.width as usize;
+        let core_id = self.core_id;
+        // RR.2.W policy: up to two contexts share the fetch width each
+        // cycle (Tullsen et al.; the single-context case degenerates to
+        // plain round-robin).
+        let max_fetchers = if nslots > 1 { 2 } else { 1 };
+        let mut budget = width;
+        let mut fetchers = 0usize;
+        let mut any_runnable = false;
+
+        // Context visit order: round-robin from the grant pointer, or
+        // fewest-in-flight-first for ICOUNT.
+        let start = self.rr_fetch;
+        // ICOUNT visits contexts fewest-in-flight-first; round-robin
+        // (the paper's policy, and the hot path) avoids the sort.
+        let icount_order: Option<Vec<usize>> = match self.cfg.fetch_policy {
+            FetchPolicy::RoundRobin => None,
+            FetchPolicy::ICount => {
+                let mut v: Vec<usize> = (0..nslots).collect();
+                v.sort_by_key(|&i| (self.slots[i].rob.len(), (i + nslots - start) % nslots));
+                Some(v)
+            }
+        };
+        let shared_rob = self.cfg.rob_sharing == RobSharing::Shared;
+        let rob_size = self.cfg.rob_size as usize;
+        let mut total_occ = if shared_rob {
+            self.total_occupancy()
+        } else {
+            0
+        };
+        let mut last_granted = None;
+        for k in 0..nslots {
+            let slot_idx = match &icount_order {
+                None => (start + k) % nslots,
+                Some(v) => v[k],
+            };
+            if budget == 0 || fetchers == max_fetchers {
+                break;
+            }
+            let s = &mut self.slots[slot_idx];
+            let Some(tid) = s.resident() else { continue };
+            if s.pending.is_some() || s.fetch_blocked_until > now {
+                continue;
+            }
+            let t = &mut threads[tid];
+            if t.state != ProgramState::Runnable {
+                continue;
+            }
+            any_runnable = true;
+
+            let mut fetched = 0usize;
+            while fetched < budget {
+                if s.rob.len() >= cap || (shared_rob && total_occ >= rob_size) {
+                    break;
+                }
+                // Stage the next instruction if needed.
+                if t.staged.is_none() {
+                    match t.program.next_fetch() {
+                        FetchOutcome::Instr(i) => t.staged = Some(i),
+                        FetchOutcome::Block(st) => {
+                            s.pending = Some(Pending::Block(st));
+                            break;
+                        }
+                        FetchOutcome::Finish => {
+                            s.pending = Some(Pending::Finish);
+                            break;
+                        }
+                    }
+                }
+                let instr = t.staged.as_ref().copied().expect("staged above");
+
+                // I-cache: access once per line crossing.
+                let line = instr.fetch_addr.line();
+                if t.last_fetch_line != Some(line) {
+                    let r = mem.access(core_id, AccessKind::Fetch, instr.fetch_addr, now);
+                    t.last_fetch_line = Some(line);
+                    // A hit completes within the L1I latency (folded into
+                    // the front-end depth); anything longer stalls fetch.
+                    if r.level != tlpsim_mem::HitLevel::L1 || r.complete_at > now + 4 {
+                        s.fetch_blocked_until = r.complete_at;
+                        break;
+                    }
+                }
+
+                // Dispatch into the ROB partition.
+                t.staged = None;
+                let seq = t.next_seq;
+                t.next_seq += 1;
+                // Mark "not yet done" so dependents wait at least until
+                // this instruction issues.
+                t.done_ring[(seq & RING_MASK) as usize] = Cycle::MAX;
+                let to_prod = |dist: u16| -> u64 {
+                    if dist == 0 || u64::from(dist) > seq {
+                        NO_DEP
+                    } else {
+                        seq - u64::from(dist)
+                    }
+                };
+                s.rob.push_back(RobEntry {
+                    seq,
+                    kind: instr.kind,
+                    prod1: to_prod(instr.src1_dist),
+                    prod2: to_prod(instr.src2_dist),
+                    addr: instr.addr,
+                    mispredicted: instr.mispredicted,
+                    issued: false,
+                    done_at: 0,
+                });
+                fetched += 1;
+                total_occ += 1;
+                self.stats.dispatched += 1;
+                s.issue_dirty = true;
+
+                if instr.mispredicted {
+                    // Fetch stops until the branch executes.
+                    s.awaiting_redirect = Some(seq);
+                    s.fetch_blocked_until = Cycle::MAX;
+                    break;
+                }
+            }
+            if fetched > 0 {
+                // Contexts that stalled without dispatching (I-cache
+                // miss, full partition, block) don't count as fetchers
+                // and yield their share to the next context.
+                budget -= fetched;
+                fetchers += 1;
+                last_granted = Some(slot_idx);
+            }
+        }
+        self.rr_fetch = match last_granted {
+            Some(i) => (i + 1) % nslots.max(1),
+            None => (start + 1) % nslots.max(1),
+        };
+        if any_runnable && budget == width {
+            self.stats.fetch_idle_cycles += 1;
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! The multi-core engine: steps every core cycle by cycle and provides
+//! the OS-level behaviour of the paper's setup — thread-to-context
+//! assignment, barrier and lock synchronization (blocked threads yield
+//! their hardware context), round-robin time-sharing when several
+//! software threads share one context, and the active-thread histogram.
+
+use std::collections::HashMap;
+
+use tlpsim_mem::{Cycle, MemorySystem};
+
+use crate::config::ChipConfig;
+use crate::core_model::{CoreModel, Drained, Pending};
+use crate::program::{ProgramState, ThreadCtl, ThreadProgram};
+use crate::stats::{RunResult, ThreadStats};
+use crate::ThreadId;
+
+/// Why a run could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A thread was added but never pinned to a hardware context.
+    UnassignedThread(ThreadId),
+    /// No instruction committed for a long window — the schedule
+    /// deadlocked (e.g. a barrier whose participants cannot all run).
+    Deadlock {
+        /// Cycle at which the deadlock was declared.
+        cycle: Cycle,
+    },
+    /// The cycle limit was exceeded.
+    CycleLimit {
+        /// The limit that was hit.
+        limit: Cycle,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::UnassignedThread(t) => write!(f, "thread {t} was never pinned"),
+            RunError::Deadlock { cycle } => write!(f, "no forward progress by cycle {cycle}"),
+            RunError::CycleLimit { limit } => write!(f, "exceeded cycle limit {limit}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[derive(Debug, Default)]
+struct LockState {
+    held_by: Option<ThreadId>,
+    waiters: std::collections::VecDeque<ThreadId>,
+}
+
+/// The simulated chip: cores + memory + software threads.
+#[derive(Debug)]
+pub struct MultiCore {
+    chip: ChipConfig,
+    cores: Vec<CoreModel>,
+    mem: MemorySystem,
+    threads: Vec<ThreadCtl>,
+    blocked_since: Vec<Cycle>,
+    barriers: HashMap<u32, usize>,
+    locks: HashMap<u32, LockState>,
+    n_segmented: usize,
+    runnable: usize,
+    now: Cycle,
+    hist: Vec<u64>,
+    roi_barriers: Option<(u32, u32)>,
+    recording: bool,
+    events: Vec<Drained>,
+}
+
+impl MultiCore {
+    /// Build an idle chip.
+    pub fn new(chip: &ChipConfig) -> Self {
+        let cores = chip
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| CoreModel::new(*c, i, chip.quantum_cycles))
+            .collect();
+        MultiCore {
+            cores,
+            mem: MemorySystem::new(&chip.memory),
+            threads: Vec::new(),
+            blocked_since: Vec::new(),
+            barriers: HashMap::new(),
+            locks: HashMap::new(),
+            n_segmented: 0,
+            runnable: 0,
+            now: 0,
+            hist: Vec::new(),
+            roi_barriers: None,
+            recording: true,
+            events: Vec::new(),
+            chip: chip.clone(),
+        }
+    }
+
+    /// Register a software thread; returns its id. The thread still has
+    /// to be [`pin`](Self::pin)ned to a hardware context.
+    pub fn add_thread(&mut self, program: ThreadProgram) -> ThreadId {
+        if program.budget().is_none() {
+            self.n_segmented += 1;
+        }
+        self.threads.push(ThreadCtl::new(program));
+        self.blocked_since.push(0);
+        self.runnable += 1;
+        self.threads.len() - 1
+    }
+
+    /// Pin thread `tid` to `(core, slot)`. Several threads pinned to the
+    /// same slot time-share it round-robin (the no-SMT overload case).
+    ///
+    /// # Panics
+    /// Panics if the ids are out of range.
+    pub fn pin(&mut self, tid: ThreadId, core: usize, slot: usize) {
+        let quantum = self.chip.quantum_cycles;
+        let s = &mut self.cores[core].slots_mut()[slot];
+        s.threads.push_back(tid);
+        if s.threads.len() == 1 {
+            s.on_switch_in(0, 0, quantum);
+        }
+        let t = &mut self.threads[tid];
+        t.core = core;
+        t.slot = slot;
+    }
+
+    /// Record the active-thread histogram only between the releases of
+    /// these two barrier ids (the ROI of a multi-threaded app).
+    pub fn set_roi_barriers(&mut self, first: u32, last: u32) {
+        self.roi_barriers = Some((first, last));
+        self.recording = false;
+    }
+
+    /// Functionally warm every thread's cache footprint (SimPoint-style
+    /// warming), then zero the memory counters. Call once, before
+    /// [`run`](Self::run). Threads must already be pinned.
+    ///
+    /// Warming walks each thread's code, cold-region tail, shared region
+    /// and hot set through the real tag arrays of the core it is pinned
+    /// to, so capacity sharing between SMT co-runners is respected.
+    pub fn prewarm(&mut self) {
+        // Interleave threads round-robin so no single thread's footprint
+        // monopolizes the recency order of shared caches.
+        let walks: Vec<(usize, Vec<(bool, tlpsim_mem::Addr)>)> = self
+            .threads
+            .iter()
+            .map(|t| (t.core, t.program.prewarm_addrs()))
+            .collect();
+        let longest = walks.iter().map(|(_, w)| w.len()).max().unwrap_or(0);
+        for i in 0..longest {
+            for (core, walk) in &walks {
+                if let Some(&(is_code, addr)) = walk.get(i) {
+                    let kind = if is_code {
+                        tlpsim_mem::AccessKind::Fetch
+                    } else {
+                        tlpsim_mem::AccessKind::Load
+                    };
+                    self.mem.prewarm_line(*core, kind, addr);
+                }
+            }
+        }
+        self.mem.reset_counters();
+    }
+
+    /// Run until every thread reached its finish point.
+    ///
+    /// # Errors
+    /// Returns [`RunError`] on unpinned threads, deadlock, or when an
+    /// internal safety cycle limit (2^40) is exceeded.
+    pub fn run(&mut self) -> Result<RunResult, RunError> {
+        self.run_with_limit(1 << 40)
+    }
+
+    /// Like [`run`](Self::run) with an explicit cycle limit.
+    ///
+    /// # Errors
+    /// Returns [`RunError`] on unpinned threads, deadlock, or when
+    /// `limit` is exceeded.
+    pub fn run_with_limit(&mut self, limit: Cycle) -> Result<RunResult, RunError> {
+        for (i, t) in self.threads.iter().enumerate() {
+            if t.core == usize::MAX {
+                return Err(RunError::UnassignedThread(i));
+            }
+        }
+        self.hist = vec![0; self.threads.len() + 1];
+
+        let mut last_progress_commits = 0u64;
+        let mut last_progress_cycle = 0u64;
+        while !self.finished() {
+            self.step();
+            if self.now > limit {
+                return Err(RunError::CycleLimit { limit });
+            }
+            if self.now & 0xFFFF == 0 {
+                let committed: u64 = self.threads.iter().map(|t| t.committed).sum();
+                if committed == last_progress_commits {
+                    if self.now - last_progress_cycle > 3_000_000 {
+                        return Err(RunError::Deadlock { cycle: self.now });
+                    }
+                } else {
+                    last_progress_commits = committed;
+                    last_progress_cycle = self.now;
+                }
+            }
+        }
+        Ok(self.result())
+    }
+
+    fn finished(&self) -> bool {
+        self.threads.iter().all(|t| t.finish_cycle.is_some())
+    }
+
+    /// Advance the whole chip by one cycle.
+    fn step(&mut self) {
+        self.now += 1;
+        let now = self.now;
+        for core in self.cores.iter_mut() {
+            core.cycle(now, &mut self.mem, &mut self.threads, &mut self.events);
+        }
+        let events = std::mem::take(&mut self.events);
+        for ev in events {
+            self.resolve(ev);
+        }
+        self.reschedule_slots();
+        if self.recording {
+            self.hist[self.runnable] += 1;
+        }
+    }
+
+    fn set_state(&mut self, tid: ThreadId, state: ProgramState) {
+        let old = self.threads[tid].state;
+        if old == state {
+            return;
+        }
+        let was_runnable = old == ProgramState::Runnable;
+        let is_runnable = state == ProgramState::Runnable;
+        if was_runnable && !is_runnable {
+            self.runnable -= 1;
+            self.blocked_since[tid] = self.now;
+        } else if !was_runnable && is_runnable {
+            self.runnable += 1;
+            self.threads[tid].blocked_cycles += self.now - self.blocked_since[tid];
+        }
+        self.threads[tid].state = state;
+    }
+
+    fn resolve(&mut self, ev: Drained) {
+        match ev.pending {
+            Pending::Block(ProgramState::AtBarrier(id)) => {
+                self.set_state(ev.tid, ProgramState::AtBarrier(id));
+                let arrived = self.barriers.entry(id).or_insert(0);
+                *arrived += 1;
+                if *arrived == self.n_segmented {
+                    self.barriers.remove(&id);
+                    for t in 0..self.threads.len() {
+                        if self.threads[t].state == ProgramState::AtBarrier(id) {
+                            self.set_state(t, ProgramState::Runnable);
+                        }
+                    }
+                    if let Some((first, last)) = self.roi_barriers {
+                        if id == first {
+                            self.recording = true;
+                        }
+                        if id == last {
+                            self.recording = false;
+                        }
+                    }
+                }
+            }
+            Pending::Block(ProgramState::WaitingLock(id)) => {
+                let lock = self.locks.entry(id).or_default();
+                if lock.held_by.is_none() {
+                    lock.held_by = Some(ev.tid);
+                    self.threads[ev.tid].program.grant_lock();
+                    // Thread keeps running; the grant lets the next fetch
+                    // enter the critical section.
+                } else {
+                    lock.waiters.push_back(ev.tid);
+                    self.set_state(ev.tid, ProgramState::WaitingLock(id));
+                }
+            }
+            Pending::Block(ProgramState::Runnable) => {
+                // Critical-section exit: release the lock and hand it on.
+                if let Some(id) = self.threads[ev.tid].program.take_release() {
+                    let lock = self.locks.entry(id).or_default();
+                    debug_assert_eq!(lock.held_by, Some(ev.tid));
+                    lock.held_by = None;
+                    if let Some(next) = lock.waiters.pop_front() {
+                        lock.held_by = Some(next);
+                        self.threads[next].program.grant_lock();
+                        self.set_state(next, ProgramState::Runnable);
+                    }
+                }
+            }
+            Pending::Block(ProgramState::Finished) => unreachable!("not a block reason"),
+            Pending::Finish => {
+                self.set_state(ev.tid, ProgramState::Finished);
+                if self.threads[ev.tid].finish_cycle.is_none() {
+                    self.threads[ev.tid].finish_cycle = Some(self.now);
+                }
+                // Free the context for any queued thread.
+                let quantum = self.chip.quantum_cycles;
+                let penalty = self.chip.switch_penalty_cycles;
+                let now = self.now;
+                let s = &mut self.cores[ev.core].slots_mut()[ev.slot];
+                debug_assert_eq!(s.resident(), Some(ev.tid));
+                s.threads.pop_front();
+                if !s.threads.is_empty() {
+                    s.on_switch_in(now, penalty, quantum);
+                }
+            }
+            Pending::Switch => {
+                let quantum = self.chip.quantum_cycles;
+                let penalty = self.chip.switch_penalty_cycles;
+                let now = self.now;
+                let s = &mut self.cores[ev.core].slots_mut()[ev.slot];
+                if s.threads.len() > 1 {
+                    s.threads.rotate_left(1);
+                }
+                s.on_switch_in(now, penalty, quantum);
+            }
+        }
+    }
+
+    /// If a slot's resident thread is blocked while another queued
+    /// thread is runnable, rotate the runnable one in (the OS would).
+    fn reschedule_slots(&mut self) {
+        let quantum = self.chip.quantum_cycles;
+        let penalty = self.chip.switch_penalty_cycles;
+        let now = self.now;
+        for core in self.cores.iter_mut() {
+            for s in core.slots_mut() {
+                if s.threads.len() < 2 || s.pending.is_some() || !s.is_drained() {
+                    continue;
+                }
+                let resident_runnable = s
+                    .resident()
+                    .map(|t| self.threads[t].state == ProgramState::Runnable)
+                    .unwrap_or(false);
+                if resident_runnable {
+                    continue;
+                }
+                if let Some(pos) = s
+                    .threads
+                    .iter()
+                    .position(|&t| self.threads[t].state == ProgramState::Runnable)
+                {
+                    s.threads.rotate_left(pos);
+                    s.on_switch_in(now, penalty, quantum);
+                }
+            }
+        }
+    }
+
+    fn result(&self) -> RunResult {
+        RunResult {
+            cycles: self.now,
+            threads: self
+                .threads
+                .iter()
+                .map(|t| ThreadStats {
+                    committed: t.committed,
+                    start_cycle: t.start_cycle,
+                    finish_cycle: t.finish_cycle,
+                    blocked_cycles: t.blocked_cycles,
+                })
+                .collect(),
+            cores: self.cores.iter().map(|c| c.stats().clone()).collect(),
+            mem: self.mem.stats(),
+            active_histogram: self.hist.clone(),
+        }
+    }
+
+    /// The configuration this chip was built from.
+    pub fn chip(&self) -> &ChipConfig {
+        &self.chip
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+}

@@ -1,0 +1,125 @@
+//! Simulation results and statistics.
+
+use tlpsim_mem::{Cycle, MemStats};
+use tlpsim_workloads::InstrKind;
+
+/// Per-core activity statistics (consumed by the power model).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoreStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Cycles with at least one runnable resident thread.
+    pub busy_cycles: u64,
+    /// Sum over cycles of the number of runnable resident threads
+    /// (i.e. the time integral of SMT occupancy).
+    pub active_ctx_cycles: u64,
+    /// Committed instructions by class:
+    /// `[int_alu, int_mul, int_div, fp, load, store, branch]`.
+    pub committed: [u64; 7],
+    /// Instructions dispatched into the ROB.
+    pub dispatched: u64,
+    /// Instructions issued to functional units.
+    pub issued: u64,
+    /// Busy cycles in which no context dispatched any instruction.
+    pub fetch_idle_cycles: u64,
+}
+
+impl CoreStats {
+    pub(crate) fn record_commit(&mut self, kind: InstrKind) {
+        let idx = match kind {
+            InstrKind::IntAlu => 0,
+            InstrKind::IntMul => 1,
+            InstrKind::IntDiv => 2,
+            InstrKind::FpAlu => 3,
+            InstrKind::Load => 4,
+            InstrKind::Store => 5,
+            InstrKind::Branch => 6,
+        };
+        self.committed[idx] += 1;
+    }
+
+    /// Total committed instructions.
+    pub fn total_committed(&self) -> u64 {
+        self.committed.iter().sum()
+    }
+
+    /// Committed instructions per non-idle cycle.
+    pub fn busy_ipc(&self) -> f64 {
+        if self.busy_cycles == 0 {
+            0.0
+        } else {
+            self.total_committed() as f64 / self.busy_cycles as f64
+        }
+    }
+
+    /// Average SMT occupancy while busy.
+    pub fn avg_occupancy(&self) -> f64 {
+        if self.busy_cycles == 0 {
+            0.0
+        } else {
+            self.active_ctx_cycles as f64 / self.busy_cycles as f64
+        }
+    }
+}
+
+/// Per-thread outcome of a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ThreadStats {
+    /// Committed instructions.
+    pub committed: u64,
+    /// Cycle at which the warmup window ended (multiprogram threads).
+    pub start_cycle: Option<Cycle>,
+    /// Cycle at which the thread's budget committed (multiprogram) or
+    /// its program finished (segmented).
+    pub finish_cycle: Option<Cycle>,
+    /// Cycles spent blocked on barriers/locks.
+    pub blocked_cycles: u64,
+}
+
+impl ThreadStats {
+    /// Instructions per cycle over the measurement window: `budget`
+    /// instructions between the end of warmup and the finish point
+    /// (0 if unfinished).
+    pub fn ipc(&self, budget: u64) -> f64 {
+        match (self.start_cycle, self.finish_cycle) {
+            (Some(s), Some(f)) if f > s => budget as f64 / (f - s) as f64,
+            (None, Some(f)) if f > 0 => budget as f64 / f as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Complete result of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunResult {
+    /// Total cycles simulated.
+    pub cycles: Cycle,
+    /// Per-thread outcomes (indexed by [`crate::ThreadId`]).
+    pub threads: Vec<ThreadStats>,
+    /// Per-core activity.
+    pub cores: Vec<CoreStats>,
+    /// Memory-system statistics.
+    pub mem: MemStats,
+    /// `active_histogram[k]` = cycles during which exactly `k` threads
+    /// were runnable (index 0 = none). For multi-threaded apps this is
+    /// recorded over the ROI; it reproduces Figure 1.
+    pub active_histogram: Vec<u64>,
+}
+
+impl RunResult {
+    /// Wall-clock of the run at `freq_ghz`, in nanoseconds.
+    pub fn wall_ns(&self, freq_ghz: f64) -> f64 {
+        self.cycles as f64 / freq_ghz
+    }
+
+    /// Fraction of (histogram-recorded) time with exactly `k` runnable
+    /// threads.
+    pub fn active_fraction(&self, k: usize) -> f64 {
+        let total: u64 = self.active_histogram.iter().sum();
+        if total == 0 || k >= self.active_histogram.len() {
+            0.0
+        } else {
+            self.active_histogram[k] as f64 / total as f64
+        }
+    }
+}

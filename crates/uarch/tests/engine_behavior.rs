@@ -1,0 +1,284 @@
+//! Behavioural tests of the core models and the multi-core engine.
+
+use tlpsim_uarch::{ChipConfig, CoreConfig, MultiCore, RunError, ThreadProgram};
+use tlpsim_workloads::{parsec, spec, BenchmarkProfile, InstrStream, Segment};
+
+const BUDGET: u64 = 20_000;
+
+/// Run `n` copies of `profile` on a chip, one per (core, slot) pair.
+fn run_multiprogram(
+    chip: &ChipConfig,
+    profile: &BenchmarkProfile,
+    placements: &[(usize, usize)],
+) -> tlpsim_uarch::RunResult {
+    let mut sim = MultiCore::new(chip);
+    for (i, &(core, slot)) in placements.iter().enumerate() {
+        let t = sim.add_thread(ThreadProgram::multiprogram(
+            InstrStream::new(profile, i as u64, 42),
+            BUDGET,
+        ));
+        sim.pin(t, core, slot);
+    }
+    sim.prewarm();
+    sim.run().expect("run must complete")
+}
+
+fn solo_ipc(chip: &ChipConfig, profile: &BenchmarkProfile) -> f64 {
+    let r = run_multiprogram(chip, profile, &[(0, 0)]);
+    r.threads[0].ipc(BUDGET)
+}
+
+#[test]
+fn single_thread_commits_budget() {
+    let chip = ChipConfig::homogeneous(1, CoreConfig::big(), 2.66);
+    let r = run_multiprogram(&chip, &spec::hmmer_like(), &[(0, 0)]);
+    assert!(r.threads[0].committed >= BUDGET);
+    let ipc = r.threads[0].ipc(BUDGET);
+    assert!((0.5..4.0).contains(&ipc), "big-core hmmer IPC {ipc}");
+}
+
+#[test]
+fn big_beats_medium_beats_small_on_compute_code() {
+    let p = spec::hmmer_like();
+    let big = solo_ipc(&ChipConfig::homogeneous(1, CoreConfig::big(), 2.66), &p);
+    let med = solo_ipc(&ChipConfig::homogeneous(1, CoreConfig::medium(), 2.66), &p);
+    let small = solo_ipc(&ChipConfig::homogeneous(1, CoreConfig::small(), 2.66), &p);
+    assert!(big > med * 1.2, "big {big} vs medium {med}");
+    assert!(med > small * 1.05, "medium {med} vs small {small}");
+}
+
+#[test]
+fn memory_bound_code_is_slow_everywhere() {
+    let hmmer = solo_ipc(
+        &ChipConfig::homogeneous(1, CoreConfig::big(), 2.66),
+        &spec::hmmer_like(),
+    );
+    let mcf = solo_ipc(
+        &ChipConfig::homogeneous(1, CoreConfig::big(), 2.66),
+        &spec::mcf_like(),
+    );
+    assert!(
+        mcf < hmmer / 3.0,
+        "mcf IPC {mcf} should be far below hmmer {hmmer}"
+    );
+}
+
+#[test]
+fn memory_bound_code_cares_less_about_core_type() {
+    let p = spec::mcf_like();
+    let big = solo_ipc(&ChipConfig::homogeneous(1, CoreConfig::big(), 2.66), &p);
+    let small = solo_ipc(&ChipConfig::homogeneous(1, CoreConfig::small(), 2.66), &p);
+    // Ratio should be much smaller than for compute-bound code.
+    let ratio = big / small;
+    assert!(
+        ratio < 2.5,
+        "memory-bound big/small ratio {ratio} suspiciously large"
+    );
+}
+
+#[test]
+fn smt_increases_throughput_but_slows_each_thread() {
+    let chip = ChipConfig::homogeneous(1, CoreConfig::big(), 2.66);
+    let p = spec::gcc_like();
+    let solo = solo_ipc(&chip, &p);
+    let duo = run_multiprogram(&chip, &p, &[(0, 0), (0, 1)]);
+    let t0 = duo.threads[0].ipc(BUDGET);
+    let t1 = duo.threads[1].ipc(BUDGET);
+    assert!(
+        t0 < solo && t1 < solo,
+        "SMT threads must be slower than solo"
+    );
+    assert!(
+        t0 + t1 > solo * 1.1,
+        "SMT total {t0}+{t1} should beat solo {solo}"
+    );
+}
+
+#[test]
+fn six_way_smt_runs_and_keeps_scaling_throughput() {
+    // Memory-bound code is where deep SMT keeps paying off.
+    let chip = ChipConfig::homogeneous(1, CoreConfig::big(), 2.66);
+    let p = spec::astar_like();
+    let duo = run_multiprogram(&chip, &p, &[(0, 0), (0, 1)]);
+    let six = run_multiprogram(&chip, &p, &[(0, 0), (0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+    let thr2: f64 = duo.threads.iter().map(|t| t.ipc(BUDGET)).sum();
+    let thr6: f64 = six.threads.iter().map(|t| t.ipc(BUDGET)).sum();
+    assert!(thr6 > thr2, "6-way SMT {thr6} should beat 2-way {thr2}");
+}
+
+#[test]
+fn time_sharing_without_smt_halves_throughput() {
+    let mut chip = ChipConfig::homogeneous(1, CoreConfig::big(), 2.66).without_smt();
+    // Short quanta so several switches fall inside the tiny test budget.
+    chip.quantum_cycles = 3_000;
+    chip.switch_penalty_cycles = 300;
+    let p = spec::hmmer_like();
+    let solo = solo_ipc(&chip, &p);
+    // Two threads pinned to the same single context: round-robin quanta.
+    let duo = run_multiprogram(&chip, &p, &[(0, 0), (0, 0)]);
+    for t in &duo.threads {
+        let ipc = t.ipc(BUDGET);
+        assert!(
+            ipc < solo * 0.65,
+            "time-shared IPC {ipc} should be about half of solo {solo}"
+        );
+    }
+}
+
+#[test]
+fn mispredicts_hurt() {
+    let mut low = spec::hmmer_like();
+    low.mispredict_rate = 0.0;
+    let mut high = low.clone();
+    high.mispredict_rate = 0.15;
+    let chip = ChipConfig::homogeneous(1, CoreConfig::big(), 2.66);
+    let a = solo_ipc(&chip, &low);
+    let b = solo_ipc(&chip, &high);
+    assert!(b < a * 0.93, "mispredicts {b} vs clean {a}");
+}
+
+#[test]
+fn threads_on_separate_cores_outrun_smt_sharing() {
+    let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66);
+    let p = spec::gcc_like();
+    let spread = run_multiprogram(&chip, &p, &[(0, 0), (1, 0)]);
+    let packed = run_multiprogram(&chip, &p, &[(0, 0), (0, 1)]);
+    let thr_spread: f64 = spread.threads.iter().map(|t| t.ipc(BUDGET)).sum();
+    let thr_packed: f64 = packed.threads.iter().map(|t| t.ipc(BUDGET)).sum();
+    assert!(
+        thr_spread > thr_packed * 1.15,
+        "spread {thr_spread} vs packed {thr_packed}"
+    );
+}
+
+#[test]
+fn determinism_across_runs() {
+    let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66);
+    let p = spec::bzip2_like();
+    let a = run_multiprogram(&chip, &p, &[(0, 0), (1, 0), (0, 1)]);
+    let b = run_multiprogram(&chip, &p, &[(0, 0), (1, 0), (0, 1)]);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn unpinned_thread_is_an_error() {
+    let chip = ChipConfig::homogeneous(1, CoreConfig::big(), 2.66);
+    let mut sim = MultiCore::new(&chip);
+    sim.add_thread(ThreadProgram::multiprogram(
+        InstrStream::new(&spec::hmmer_like(), 0, 1),
+        1000,
+    ));
+    assert_eq!(sim.run(), Err(RunError::UnassignedThread(0)));
+}
+
+// ---------- multi-threaded (segmented) workloads ----------
+
+/// Instantiate an app and pin threads one per context, round-robin over
+/// cores first (spread-before-SMT).
+fn run_parsec(
+    chip: &ChipConfig,
+    app: &tlpsim_workloads::ParsecApp,
+    n_threads: usize,
+    phase_instrs: u64,
+) -> tlpsim_uarch::RunResult {
+    let w = app.instantiate(n_threads, phase_instrs, 7);
+    let mut sim = MultiCore::new(chip);
+    let n_cores = chip.cores.len();
+    let shared_base = 0x4000_0000_0000u64;
+    let max_barrier = w
+        .threads
+        .iter()
+        .flatten()
+        .filter_map(|s| match s {
+            Segment::Barrier { id } => Some(*id),
+            _ => None,
+        })
+        .max()
+        .unwrap();
+    for (i, segs) in w.threads.iter().enumerate() {
+        let stream = InstrStream::new(&w.profile, i as u64, 99).with_shared_region(
+            shared_base,
+            w.shared_bytes,
+            w.shared_frac,
+        );
+        let t = sim.add_thread(ThreadProgram::segmented(stream, segs.clone()));
+        let core = i % n_cores;
+        let slot = i / n_cores;
+        let slots = chip.cores[core].smt_contexts as usize;
+        sim.pin(t, core, slot % slots);
+    }
+    sim.set_roi_barriers(0, max_barrier);
+    sim.prewarm();
+    sim.run().expect("parsec run must complete")
+}
+
+#[test]
+fn parsec_app_completes_and_blocks_at_barriers() {
+    let chip = ChipConfig::homogeneous(4, CoreConfig::big(), 2.66);
+    let app = parsec::streamcluster_like();
+    let r = run_parsec(&chip, &app, 8, 4_000);
+    assert!(r.threads.iter().all(|t| t.finish_cycle.is_some()));
+    // Imbalance + barriers mean someone must have waited.
+    let total_blocked: u64 = r.threads.iter().map(|t| t.blocked_cycles).sum();
+    assert!(total_blocked > 0, "no barrier waiting observed");
+}
+
+#[test]
+fn active_thread_histogram_varies_for_imbalanced_app() {
+    let chip = ChipConfig::homogeneous(4, CoreConfig::big(), 2.66);
+    let app = parsec::dedup_like(); // high imbalance
+    let r = run_parsec(&chip, &app, 8, 6_000);
+    let recorded: u64 = r.active_histogram.iter().sum();
+    assert!(recorded > 0, "ROI histogram empty");
+    // Full-activity is not 100% of the time for an imbalanced app.
+    let full = r.active_fraction(8);
+    assert!(full < 0.95, "dedup-like should not be fully active: {full}");
+}
+
+#[test]
+fn critical_sections_serialize() {
+    // An app that is one big critical section cannot speed up with
+    // more threads.
+    let mut app = parsec::blackscholes_like();
+    app.cs_frac = 0.95;
+    app.max_parallelism = 64;
+    app.imbalance = 0.0;
+    let chip = ChipConfig::homogeneous(4, CoreConfig::big(), 2.66);
+    let r2 = run_parsec(&chip, &app, 2, 8_000);
+    let r4 = run_parsec(&chip, &app, 4, 8_000);
+    // 4 threads do the same serialized work; no big win possible.
+    let speedup = r2.cycles as f64 / r4.cycles as f64;
+    assert!(
+        speedup < 1.3,
+        "serialized app should not scale: speedup {speedup}"
+    );
+}
+
+#[test]
+fn scalable_app_scales() {
+    let mut app = parsec::blackscholes_like();
+    app.imbalance = 0.0;
+    let chip = ChipConfig::homogeneous(4, CoreConfig::big(), 2.66);
+    let r1 = run_parsec(&chip, &app, 1, 24_000);
+    let r4 = run_parsec(&chip, &app, 4, 24_000);
+    let speedup = r1.cycles as f64 / r4.cycles as f64;
+    assert!(
+        speedup > 2.0,
+        "blackscholes-like should scale to 4 cores: {speedup}"
+    );
+}
+
+#[test]
+fn serial_phase_runs_single_threaded() {
+    let chip = ChipConfig::homogeneous(4, CoreConfig::big(), 2.66);
+    let app = parsec::bodytrack_like(); // serial_frac = 0.18
+    let w = app.instantiate(4, 10_000, 3);
+    assert!(w.serial_init > 0);
+    let r = run_parsec(&chip, &app, 4, 10_000);
+    // During the serial phases only one thread is runnable; the ROI
+    // histogram excludes them, so instead check blocked time exists for
+    // workers but thread 0 commits more instructions.
+    let c0 = r.threads[0].committed;
+    let cmax = r.threads[1..].iter().map(|t| t.committed).max().unwrap();
+    assert!(c0 > cmax, "thread 0 must carry the serial work");
+}

@@ -1,0 +1,160 @@
+//! Active-thread-count distributions (Section 4.2 of the paper).
+//!
+//! A [`ThreadCountDistribution`] assigns a probability to each active
+//! thread count `1..=max`. The paper evaluates three: a uniform
+//! distribution, a "datacenter" distribution adapted from Barroso &
+//! Hölzle's CPU-utilization data (peaks at 1 thread and around 7-9
+//! threads), and the same distribution mirrored around the center to
+//! model a heavily loaded server park (peaks at 24 and around 16-18).
+
+/// A probability distribution over active thread counts `1..=max`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadCountDistribution {
+    probs: Vec<f64>, // probs[i] = P(thread count == i + 1)
+}
+
+impl ThreadCountDistribution {
+    /// Build from raw weights (normalized internally).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative value, or sums
+    /// to zero.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "empty distribution");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "negative weight in distribution"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "distribution sums to zero");
+        ThreadCountDistribution {
+            probs: weights.iter().map(|&w| w / total).collect(),
+        }
+    }
+
+    /// Uniform over `1..=max` (each thread count equally likely).
+    pub fn uniform(max: usize) -> Self {
+        Self::from_weights(&vec![1.0; max])
+    }
+
+    /// The paper's datacenter distribution (Figure 10a), adapted to a
+    /// maximum of `max` threads: a peak at 1 thread (near-idle servers)
+    /// and a second, broader peak around 30-40% utilization (7-9 threads
+    /// of 24), with a tail falling off towards full utilization.
+    pub fn datacenter(max: usize) -> Self {
+        let center = 8.0 * max as f64 / 24.0;
+        let weights: Vec<f64> = (1..=max)
+            .map(|n| {
+                let n = n as f64;
+                // Near-idle peak: sharp exponential at n = 1.
+                let idle = 1.35 * (-(n - 1.0) / 1.6).exp();
+                // Utilization peak around `center` threads.
+                let busy = 0.95 * (-((n - center) * (n - center)) / 18.0).exp();
+                // Small uniform floor so the tail is not exactly zero.
+                idle + busy + 0.06
+            })
+            .collect();
+        Self::from_weights(&weights)
+    }
+
+    /// The datacenter distribution mirrored around the center
+    /// (Section 4.2.2): peaks at `max` and around `max * 2 / 3`.
+    pub fn mirrored_datacenter(max: usize) -> Self {
+        let dc = Self::datacenter(max);
+        let mut w = dc.probs;
+        w.reverse();
+        Self::from_weights(&w)
+    }
+
+    /// Maximum thread count covered.
+    pub fn max_threads(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Probability of exactly `n` active threads.
+    ///
+    /// # Panics
+    /// Panics if `n` is 0 or above `max_threads()`.
+    pub fn prob(&self, n: usize) -> f64 {
+        assert!(n >= 1 && n <= self.probs.len(), "thread count out of range");
+        self.probs[n - 1]
+    }
+
+    /// Iterate `(thread_count, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.probs.iter().enumerate().map(|(i, &p)| (i + 1, p))
+    }
+
+    /// Expected thread count.
+    pub fn mean(&self) -> f64 {
+        self.iter().map(|(n, p)| n as f64 * p).sum()
+    }
+
+    /// Time-weighted average of a per-thread-count rate metric `f(n)`
+    /// (e.g. STP): `sum_n p(n) * f(n)`.
+    ///
+    /// The fraction of *time* spent at each thread count is given by the
+    /// distribution, and throughput is a rate, so the time-weighted
+    /// arithmetic mean is the aggregate jobs-per-unit-time.
+    pub fn expect<F: FnMut(usize) -> f64>(&self, mut f: F) -> f64 {
+        self.iter().map(|(n, p)| p * f(n)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sums_to_one() {
+        let d = ThreadCountDistribution::uniform(24);
+        let s: f64 = d.iter().map(|(_, p)| p).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!((d.prob(1) - 1.0 / 24.0).abs() < 1e-12);
+        assert!((d.mean() - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn datacenter_peaks_match_paper() {
+        let d = ThreadCountDistribution::datacenter(24);
+        // Peak at 1 thread.
+        assert!(d.prob(1) > d.prob(4));
+        // Second peak around 7-9 threads: 8 beats both 4 and 14.
+        assert!(d.prob(8) > d.prob(4));
+        assert!(d.prob(8) > d.prob(14));
+        // Tail towards 24 is low.
+        assert!(d.prob(24) < d.prob(8) / 2.0);
+        // Skewed towards few threads overall.
+        assert!(d.mean() < 12.0);
+    }
+
+    #[test]
+    fn mirrored_is_exactly_reversed() {
+        let d = ThreadCountDistribution::datacenter(24);
+        let m = ThreadCountDistribution::mirrored_datacenter(24);
+        for n in 1..=24 {
+            assert!((d.prob(n) - m.prob(25 - n)).abs() < 1e-12);
+        }
+        assert!(m.mean() > 12.0);
+    }
+
+    #[test]
+    fn expect_weights_rates() {
+        let d = ThreadCountDistribution::uniform(4);
+        // f(n) = n: expectation is the mean.
+        let e = d.expect(|n| n as f64);
+        assert!((e - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn prob_zero_panics() {
+        ThreadCountDistribution::uniform(4).prob(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to zero")]
+    fn zero_weights_panic() {
+        ThreadCountDistribution::from_weights(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,359 @@
+//! The instruction-stream generator: turns a [`BenchmarkProfile`] into
+//! an unbounded, deterministic sequence of [`Instr`]s.
+
+use tlpsim_mem::Addr;
+
+use crate::instr::{Instr, InstrKind};
+use crate::profile::BenchmarkProfile;
+use crate::rng::SplitMix64;
+
+/// Size of the per-thread private address space (1 GiB). Programs in a
+/// multi-program workload are placed in disjoint spaces so they only
+/// interact through shared-resource contention, exactly as separate
+/// processes would.
+pub const THREAD_SPACE_BYTES: u64 = 1 << 30;
+
+/// An unbounded instruction stream for one software thread.
+///
+/// The stream is deterministic in `(profile, space_id, seed)`. It
+/// implements [`Iterator`] and never ends; consumers take as many
+/// instructions as their simulation budget requires.
+#[derive(Debug, Clone)]
+pub struct InstrStream {
+    profile: BenchmarkProfile,
+    rng: SplitMix64,
+    /// Base address of this thread's private data region.
+    data_base: u64,
+    /// Base address of this thread's code region.
+    code_base: u64,
+    /// Optional shared region (multi-threaded apps): `(base, bytes)`.
+    shared: Option<(u64, u64)>,
+    /// Probability a memory access targets the shared region.
+    shared_frac: f64,
+    /// Current streaming pointer offset.
+    stream_pos: u64,
+    /// Current program counter offset within the code region.
+    pc: u64,
+    /// Dynamic instruction count so far.
+    seq: u64,
+}
+
+impl InstrStream {
+    /// Create the stream for `space_id` (a unique index per software
+    /// thread in the simulated system) with the given seed.
+    pub fn new(profile: &BenchmarkProfile, space_id: u64, seed: u64) -> Self {
+        debug_assert!(profile.validate().is_ok());
+        let base = space_id * THREAD_SPACE_BYTES;
+        // Per-thread set coloring: physical page allocation staggers
+        // where each process lands in the caches. Without this, spaces
+        // exactly 1 GiB apart alias onto identical cache sets and
+        // co-running threads thrash a fraction of each cache while the
+        // rest sits idle (65 lines = an odd multiple of the line size,
+        // co-prime to every power-of-two set count).
+        let color = (space_id % 61) * 65 * 64;
+        InstrStream {
+            profile: profile.clone(),
+            rng: SplitMix64::new(seed ^ space_id.wrapping_mul(0xA076_1D64_78BD_642F)),
+            data_base: base + (64 << 20) + color, // data 64MB into the space
+            code_base: base + color,
+            shared: None,
+            shared_frac: 0.0,
+            stream_pos: 0,
+            pc: 0,
+            seq: 0,
+        }
+    }
+
+    /// Give the stream access to a shared data region (multi-threaded
+    /// applications). A fraction `frac` of memory accesses will target
+    /// uniformly random lines of the region.
+    pub fn with_shared_region(mut self, base: u64, bytes: u64, frac: f64) -> Self {
+        assert!(bytes > 0 && (0.0..=1.0).contains(&frac));
+        self.shared = Some((base, bytes));
+        self.shared_frac = frac;
+        self
+    }
+
+    /// The profile this stream draws from.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    /// Dynamic instructions generated so far.
+    pub fn generated(&self) -> u64 {
+        self.seq
+    }
+
+    fn draw_kind(&mut self) -> InstrKind {
+        let m = &self.profile.mix;
+        let x = self.rng.next_f64();
+        let mut acc = m.int_alu;
+        if x < acc {
+            return InstrKind::IntAlu;
+        }
+        acc += m.int_mul;
+        if x < acc {
+            return InstrKind::IntMul;
+        }
+        acc += m.int_div;
+        if x < acc {
+            return InstrKind::IntDiv;
+        }
+        acc += m.fp_alu;
+        if x < acc {
+            return InstrKind::FpAlu;
+        }
+        acc += m.load;
+        if x < acc {
+            return InstrKind::Load;
+        }
+        acc += m.store;
+        if x < acc {
+            return InstrKind::Store;
+        }
+        InstrKind::Branch
+    }
+
+    fn draw_dep(&mut self) -> u16 {
+        let d = &self.profile.dep;
+        let dist = if self.rng.chance(d.near_frac) {
+            1 + self.rng.below(d.near_max as u64)
+        } else {
+            1 + self.rng.below(d.far_max as u64)
+        };
+        // Clamp to the instructions that actually exist.
+        dist.min(self.seq) as u16
+    }
+
+    fn draw_addr(&mut self) -> Addr {
+        // Shared region first (multi-threaded apps only). Popularity is
+        // power-law skewed (u^3): a small set of hot shared lines absorbs
+        // most accesses — reuse exists at any simulation scale — while
+        // the long tail still pressures the LLC and memory bus.
+        if self.shared_frac > 0.0 && self.rng.chance(self.shared_frac) {
+            if let Some((base, bytes)) = self.shared {
+                let u = self.rng.next_f64();
+                let idx = ((bytes / 8) as f64 * u * u * u) as u64;
+                return Addr(base + idx * 8);
+            }
+        }
+        let m = &self.profile.mem;
+        let x = self.rng.next_f64();
+        if x < m.hot_frac {
+            Addr(self.data_base + self.rng.below(m.hot_bytes / 8) * 8)
+        } else if x < m.hot_frac + m.stream_frac {
+            self.stream_pos = (self.stream_pos + m.stream_stride) % m.cold_bytes;
+            Addr(self.data_base + m.hot_bytes + self.stream_pos)
+        } else {
+            Addr(self.data_base + m.hot_bytes + self.rng.below(m.cold_bytes / 8) * 8)
+        }
+    }
+
+    /// Addresses to functionally pre-warm before timed simulation:
+    /// `(is_code, addr)` pairs covering the code footprint, the tail of
+    /// the cold/streaming region (capped — regions larger than any cache
+    /// can only ever be partially resident), the tail of the shared
+    /// region, and finally the hot set (last, so LRU keeps it closest).
+    pub fn prewarm_addrs(&self) -> Vec<(bool, Addr)> {
+        const LINE: u64 = 64;
+        /// Regions beyond this can't be fully cache-resident anyway.
+        const COLD_CAP: u64 = 12 * 1024 * 1024;
+        let mut v = Vec::new();
+        let m = &self.profile.mem;
+        // Cold region tail.
+        let cold = m.cold_bytes.min(COLD_CAP);
+        let cold_start = self.data_base + m.hot_bytes + (m.cold_bytes - cold);
+        let mut a = cold_start;
+        while a < cold_start + cold {
+            v.push((false, Addr(a)));
+            a += LINE;
+        }
+        // Shared region (hot head: the power-law skew favours low
+        // addresses, so warm from the start).
+        if let Some((base, bytes)) = self.shared {
+            let warm = bytes.min(COLD_CAP);
+            let mut a = base;
+            while a < base + warm {
+                v.push((false, Addr(a)));
+                a += LINE;
+            }
+        }
+        // Code footprint.
+        let mut a = self.code_base;
+        while a < self.code_base + self.profile.code_bytes {
+            v.push((true, Addr(a)));
+            a += LINE;
+        }
+        // Hot set last.
+        let mut a = self.data_base;
+        while a < self.data_base + m.hot_bytes {
+            v.push((false, Addr(a)));
+            a += LINE;
+        }
+        v
+    }
+
+    fn advance_pc(&mut self) -> Addr {
+        let fetch = Addr(self.code_base + self.pc);
+        if self.rng.chance(self.profile.code_jump_prob) {
+            // Jump to a random (aligned) location in the code footprint.
+            self.pc = self.rng.below(self.profile.code_bytes / 16) * 16;
+        } else {
+            self.pc = (self.pc + 4) % self.profile.code_bytes;
+        }
+        fetch
+    }
+}
+
+impl Iterator for InstrStream {
+    type Item = Instr;
+
+    fn next(&mut self) -> Option<Instr> {
+        let kind = self.draw_kind();
+        let fetch_addr = self.advance_pc();
+        let src1_dist = self.draw_dep();
+        let src2_dist = if self.rng.chance(self.profile.dep.two_src_frac) {
+            self.draw_dep()
+        } else {
+            0
+        };
+        let addr = if kind.is_mem() {
+            self.draw_addr()
+        } else {
+            Addr(0)
+        };
+        let mispredicted =
+            kind == InstrKind::Branch && self.rng.chance(self.profile.mispredict_rate);
+        self.seq += 1;
+        Some(Instr {
+            kind,
+            src1_dist,
+            src2_dist,
+            addr,
+            fetch_addr,
+            mispredicted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{DepProfile, InstrMix, MemProfile};
+
+    fn profile() -> BenchmarkProfile {
+        BenchmarkProfile {
+            name: "gen_test",
+            mix: InstrMix::typical_int(),
+            dep: DepProfile::high_ilp(),
+            mem: MemProfile::cache_friendly(),
+            mispredict_rate: 0.05,
+            code_bytes: 16 * 1024,
+            code_jump_prob: 0.05,
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<_> = InstrStream::new(&profile(), 0, 1).take(1000).collect();
+        let b: Vec<_> = InstrStream::new(&profile(), 0, 1).take(1000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_spaces_have_disjoint_addresses() {
+        let a: Vec<_> = InstrStream::new(&profile(), 0, 1).take(5000).collect();
+        let b: Vec<_> = InstrStream::new(&profile(), 1, 1).take(5000).collect();
+        let max_a = a.iter().map(|i| i.addr.0).max().unwrap();
+        let min_b = b
+            .iter()
+            .filter(|i| i.kind.is_mem())
+            .map(|i| i.addr.0)
+            .min()
+            .unwrap();
+        assert!(max_a < THREAD_SPACE_BYTES);
+        assert!(min_b >= THREAD_SPACE_BYTES);
+    }
+
+    #[test]
+    fn mix_is_respected() {
+        let n = 200_000;
+        let stream = InstrStream::new(&profile(), 0, 3);
+        let mut loads = 0u32;
+        let mut branches = 0u32;
+        for i in stream.take(n) {
+            match i.kind {
+                InstrKind::Load => loads += 1,
+                InstrKind::Branch => branches += 1,
+                _ => {}
+            }
+        }
+        let lf = loads as f64 / n as f64;
+        let bf = branches as f64 / n as f64;
+        assert!((lf - 0.25).abs() < 0.01, "load frac {lf}");
+        assert!((bf - 0.20).abs() < 0.01, "branch frac {bf}");
+    }
+
+    #[test]
+    fn deps_never_point_before_stream_start() {
+        for i in InstrStream::new(&profile(), 0, 4).take(100) {
+            assert!(u64::from(i.src1_dist) <= 100);
+        }
+        // the very first instruction cannot depend on anything
+        let first = InstrStream::new(&profile(), 0, 4).next().unwrap();
+        assert_eq!(first.src1_dist, 0);
+        assert_eq!(first.src2_dist, 0);
+    }
+
+    #[test]
+    fn mispredict_rate_is_approximate() {
+        let mut mis = 0u32;
+        let mut total = 0u32;
+        for i in InstrStream::new(&profile(), 0, 5).take(200_000) {
+            if i.kind == InstrKind::Branch {
+                total += 1;
+                if i.mispredicted {
+                    mis += 1;
+                }
+            }
+        }
+        let rate = mis as f64 / total as f64;
+        assert!((rate - 0.05).abs() < 0.01, "mispredict rate {rate}");
+    }
+
+    #[test]
+    fn hot_set_addresses_stay_hot() {
+        let p = profile();
+        let hot = p.mem.hot_bytes;
+        let mut in_hot = 0u32;
+        let mut mem = 0u32;
+        for i in InstrStream::new(&p, 0, 6).take(100_000) {
+            if i.kind.is_mem() {
+                mem += 1;
+                if i.addr.0 - (64 << 20) < hot {
+                    in_hot += 1;
+                }
+            }
+        }
+        let frac = in_hot as f64 / mem as f64;
+        assert!((frac - 0.97).abs() < 0.02, "hot frac {frac}");
+    }
+
+    #[test]
+    fn shared_region_accesses_appear() {
+        let p = profile();
+        let s = InstrStream::new(&p, 0, 7).with_shared_region(0x4000_0000_0000, 1 << 20, 0.5);
+        let mut shared = 0u32;
+        let mut mem = 0u32;
+        for i in s.take(50_000) {
+            if i.kind.is_mem() {
+                mem += 1;
+                if i.addr.0 >= 0x4000_0000_0000 {
+                    shared += 1;
+                }
+            }
+        }
+        let frac = shared as f64 / mem as f64;
+        assert!((frac - 0.5).abs() < 0.05, "shared frac {frac}");
+    }
+}

@@ -1,0 +1,98 @@
+//! The dynamic instruction representation consumed by the core models.
+
+use tlpsim_mem::Addr;
+
+/// Operation class of a dynamic instruction.
+///
+/// Classes map one-to-one onto the functional-unit types of Table 1
+/// (int ALUs, a mul/div unit, an FP unit, load/store ports) plus
+/// branches, which occupy an int ALU and may redirect fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrKind {
+    /// Simple integer op (1-cycle execute).
+    IntAlu,
+    /// Integer multiply (3-cycle execute, mul/div unit).
+    IntMul,
+    /// Integer divide (20-cycle execute, mul/div unit, unpipelined).
+    IntDiv,
+    /// Floating-point op (4-cycle execute, FP unit).
+    FpAlu,
+    /// Memory load (load/store port + D-cache access).
+    Load,
+    /// Memory store (load/store port; retires via store buffer).
+    Store,
+    /// Conditional branch (int ALU; may be mispredicted).
+    Branch,
+}
+
+impl InstrKind {
+    /// Execute latency in cycles on a big/medium OoO core.
+    pub fn exec_latency(self) -> u64 {
+        match self {
+            InstrKind::IntAlu | InstrKind::Branch => 1,
+            InstrKind::IntMul => 3,
+            InstrKind::IntDiv => 20,
+            InstrKind::FpAlu => 4,
+            // For memory ops the cache hierarchy supplies the latency; this
+            // is just the address-generation slot.
+            InstrKind::Load | InstrKind::Store => 1,
+        }
+    }
+
+    /// True for loads and stores.
+    pub fn is_mem(self) -> bool {
+        matches!(self, InstrKind::Load | InstrKind::Store)
+    }
+}
+
+/// One dynamic instruction produced by the stream generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instr {
+    /// Operation class.
+    pub kind: InstrKind,
+    /// Distance (in dynamic instructions) back to the producer of the
+    /// first source operand; 0 means no register dependence.
+    pub src1_dist: u16,
+    /// Same for the second source operand.
+    pub src2_dist: u16,
+    /// Effective address (loads/stores only; `Addr(0)` otherwise).
+    pub addr: Addr,
+    /// Instruction address, used for I-cache modeling.
+    pub fetch_addr: Addr,
+    /// For branches: whether the predictor misses it (the generator
+    /// pre-draws the outcome so core models stay deterministic).
+    pub mispredicted: bool,
+}
+
+impl Instr {
+    /// A register-only instruction with no dependences (test helper).
+    pub fn nop() -> Self {
+        Instr {
+            kind: InstrKind::IntAlu,
+            src1_dist: 0,
+            src2_dist: 0,
+            addr: Addr(0),
+            fetch_addr: Addr(0),
+            mispredicted: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_ordered_sensibly() {
+        assert!(InstrKind::IntDiv.exec_latency() > InstrKind::IntMul.exec_latency());
+        assert!(InstrKind::IntMul.exec_latency() > InstrKind::IntAlu.exec_latency());
+        assert_eq!(InstrKind::Branch.exec_latency(), 1);
+    }
+
+    #[test]
+    fn mem_classification() {
+        assert!(InstrKind::Load.is_mem());
+        assert!(InstrKind::Store.is_mem());
+        assert!(!InstrKind::FpAlu.is_mem());
+    }
+}

@@ -1,0 +1,45 @@
+//! # tlpsim-workloads — synthetic workload substrate
+//!
+//! The paper evaluates SPEC CPU2006 (12 representative benchmark-input
+//! pairs, 750M-instruction SimPoints) and PARSEC (medium inputs).
+//! Neither the binaries, the inputs, nor the trace infrastructure are
+//! available here, so this crate provides the closest synthetic
+//! equivalent (see `DESIGN.md` §2 for the substitution argument):
+//!
+//! * a **statistical instruction-stream generator**: each benchmark is a
+//!   [`BenchmarkProfile`] (instruction mix, dependency-distance
+//!   distribution, two-level working set with a streaming component,
+//!   branch mispredict rate, code footprint) from which an unbounded,
+//!   deterministic instruction stream is generated per (thread, seed);
+//! * **12 SPEC-like profiles** ([`spec`]) spanning the same
+//!   relative-performance range across the three core types that the
+//!   paper's selection was chosen to cover, including the two classes
+//!   discussed in Figure 4 (core-bound `tonto_like`, bandwidth-bound
+//!   `libquantum_like`);
+//! * **PARSEC-like multi-threaded applications** ([`parsec`]) with serial
+//!   init/finalize phases, barrier-synchronized parallel sections, work
+//!   imbalance, and critical sections — the sources of the time-varying
+//!   active thread counts of Figure 1;
+//! * **thread-count distributions** ([`dist`]): uniform, datacenter and
+//!   mirrored-datacenter (Figure 10);
+//! * **workload mix construction** ([`mix`]): homogeneous mixes and
+//!   balanced-random heterogeneous mixes (Velasquez et al.).
+//!
+//! Everything is deterministic given a seed.
+
+pub mod dist;
+pub mod generator;
+pub mod instr;
+pub mod mix;
+pub mod parsec;
+pub mod profile;
+pub mod rng;
+pub mod spec;
+
+pub use dist::ThreadCountDistribution;
+pub use generator::InstrStream;
+pub use instr::{Instr, InstrKind};
+pub use mix::{heterogeneous_mixes, homogeneous_mix};
+pub use parsec::{ParsecApp, ParsecWorkload, Segment};
+pub use profile::{BenchmarkProfile, DepProfile, InstrMix, MemProfile};
+pub use rng::SplitMix64;

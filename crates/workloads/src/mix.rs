@@ -1,0 +1,106 @@
+//! Multi-program workload mix construction (Section 3.2).
+//!
+//! * **Homogeneous** mixes: `n` copies of the same benchmark.
+//! * **Heterogeneous** mixes: the paper builds 12 random mixes per
+//!   thread count using *balanced random sampling* (Velasquez et al.):
+//!   every benchmark appears an equal number of times across the 12
+//!   mixes of a given thread count. We reproduce that exactly: a bag
+//!   containing each benchmark `n` times is shuffled deterministically
+//!   and chopped into 12 mixes of `n` programs.
+
+use crate::rng::SplitMix64;
+
+/// Number of mixes generated per thread count (the paper's 12).
+pub const MIXES_PER_COUNT: usize = 12;
+
+/// A homogeneous mix: `n` copies of benchmark `bench`.
+pub fn homogeneous_mix(bench: usize, n: usize) -> Vec<usize> {
+    vec![bench; n]
+}
+
+/// Balanced-random heterogeneous mixes: [`MIXES_PER_COUNT`] mixes of
+/// `n` programs each, drawn from `n_benchmarks` benchmarks such that
+/// every benchmark appears exactly `n * MIXES_PER_COUNT / n_benchmarks`
+/// times in total. Deterministic in `seed`.
+///
+/// # Panics
+/// Panics if `n_benchmarks` does not divide `MIXES_PER_COUNT`
+/// (the balance property needs it; the paper uses 12 benchmarks and 12
+/// mixes).
+pub fn heterogeneous_mixes(n_benchmarks: usize, n: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(n_benchmarks > 0 && n > 0);
+    assert_eq!(
+        MIXES_PER_COUNT % n_benchmarks,
+        0,
+        "benchmark count must divide the number of mixes for balance"
+    );
+    let copies = n * MIXES_PER_COUNT / n_benchmarks;
+    let mut bag: Vec<usize> = (0..n_benchmarks)
+        .flat_map(|b| std::iter::repeat_n(b, copies))
+        .collect();
+    // Fisher-Yates with our deterministic PRNG.
+    let mut rng = SplitMix64::new(seed ^ (n as u64) << 32);
+    for i in (1..bag.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        bag.swap(i, j);
+    }
+    bag.chunks(n).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_is_all_copies() {
+        let m = homogeneous_mix(3, 5);
+        assert_eq!(m, vec![3, 3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn heterogeneous_shape() {
+        let mixes = heterogeneous_mixes(12, 7, 42);
+        assert_eq!(mixes.len(), MIXES_PER_COUNT);
+        assert!(mixes.iter().all(|m| m.len() == 7));
+    }
+
+    #[test]
+    fn heterogeneous_is_balanced() {
+        for n in [1, 2, 5, 24] {
+            let mixes = heterogeneous_mixes(12, n, 1);
+            let mut counts = vec![0usize; 12];
+            for m in &mixes {
+                for &b in m {
+                    counts[b] += 1;
+                }
+            }
+            let expected = n * MIXES_PER_COUNT / 12;
+            assert!(
+                counts.iter().all(|&c| c == expected),
+                "n={n}: counts {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn heterogeneous_is_deterministic_and_seed_sensitive() {
+        assert_eq!(heterogeneous_mixes(12, 4, 9), heterogeneous_mixes(12, 4, 9));
+        assert_ne!(
+            heterogeneous_mixes(12, 4, 9),
+            heterogeneous_mixes(12, 4, 10)
+        );
+    }
+
+    #[test]
+    fn mixes_are_actually_mixed() {
+        // With 24 slots per mix and 12 benchmarks, a mix should contain
+        // several distinct benchmarks.
+        let mixes = heterogeneous_mixes(12, 24, 3);
+        for m in &mixes {
+            let mut s = m.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert!(s.len() >= 6, "suspiciously uniform mix {m:?}");
+        }
+    }
+}

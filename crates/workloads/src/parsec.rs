@@ -1,0 +1,456 @@
+//! PARSEC-like multi-threaded application models.
+//!
+//! Each application is a [`ParsecApp`] template that can be instantiated
+//! for any thread count (the paper varies 4..=24 in steps of 4). An
+//! instantiation is a per-thread list of [`Segment`]s: compute bursts,
+//! barriers, and critical sections, bracketed by serial init/finalize
+//! phases executed by thread 0. Threads waiting at a barrier or for a
+//! lock *yield the core* (the paper's OS model), which is what creates
+//! the time-varying active thread counts of Figure 1.
+//!
+//! Scaling behaviour is controlled per app by `max_parallelism` (work is
+//! split over at most that many threads per phase), `imbalance` (spread
+//! of per-thread work within a phase), `cs_frac` (fraction of parallel
+//! work inside one global critical section) and `serial_frac`.
+
+use crate::profile::BenchmarkProfile;
+use crate::rng::SplitMix64;
+use crate::spec;
+
+/// One step of a software thread's control flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    /// Execute `instrs` dynamic instructions from the app's profile.
+    Compute {
+        /// Number of instructions.
+        instrs: u64,
+    },
+    /// Wait until all threads of the app arrive at barrier `id`.
+    Barrier {
+        /// Barrier identity (monotonically increasing per app).
+        id: u32,
+    },
+    /// Acquire global lock `lock`, run `instrs` instructions, release.
+    Critical {
+        /// Lock identity.
+        lock: u32,
+        /// Length of the critical section in instructions.
+        instrs: u64,
+    },
+}
+
+/// A PARSEC-like application template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsecApp {
+    /// Application name (synthetic analogue, `_like`-suffixed).
+    pub name: &'static str,
+    /// Instruction-level profile of all of the app's code.
+    pub profile: BenchmarkProfile,
+    /// Largest thread count that still gets useful work per phase.
+    pub max_parallelism: usize,
+    /// Number of barrier-delimited parallel phases in the ROI.
+    pub phases: u32,
+    /// Within-phase per-thread work spread (0 = perfectly balanced;
+    /// 1 = up to 2x between threads).
+    pub imbalance: f64,
+    /// Fraction of each thread's phase work executed inside a global
+    /// critical section.
+    pub cs_frac: f64,
+    /// Fraction of the whole program's instructions that are serial
+    /// (init + finalize, executed by thread 0 outside the ROI).
+    pub serial_frac: f64,
+    /// Shared-data region size in bytes.
+    pub shared_bytes: u64,
+    /// Fraction of memory accesses that go to the shared region.
+    pub shared_frac: f64,
+}
+
+/// A concrete instantiation of an app for a given thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsecWorkload {
+    /// Application name.
+    pub name: &'static str,
+    /// Instruction profile for every thread.
+    pub profile: BenchmarkProfile,
+    /// Per-thread segment lists. `threads[0]` starts with the serial
+    /// init phase and ends with the serial finalize phase.
+    pub threads: Vec<Vec<Segment>>,
+    /// Shared-region size in bytes.
+    pub shared_bytes: u64,
+    /// Fraction of accesses into the shared region.
+    pub shared_frac: f64,
+    /// Instructions in the serial init (prefix of thread 0).
+    pub serial_init: u64,
+    /// Instructions in the serial finalize (suffix of thread 0).
+    pub serial_fini: u64,
+}
+
+impl ParsecWorkload {
+    /// Total dynamic instructions across all threads.
+    pub fn total_instrs(&self) -> u64 {
+        self.threads
+            .iter()
+            .flatten()
+            .map(|s| match s {
+                Segment::Compute { instrs } => *instrs,
+                Segment::Critical { instrs, .. } => *instrs,
+                Segment::Barrier { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Instructions inside the ROI only (excludes serial init/finalize).
+    pub fn roi_instrs(&self) -> u64 {
+        self.total_instrs() - self.serial_init - self.serial_fini
+    }
+}
+
+impl ParsecApp {
+    /// Instantiate for `n_threads` threads with a per-phase work budget
+    /// of roughly `phase_instrs` instructions (split across threads).
+    ///
+    /// Deterministic in `(self, n_threads, phase_instrs, seed)`.
+    ///
+    /// # Panics
+    /// Panics if `n_threads == 0`.
+    pub fn instantiate(&self, n_threads: usize, phase_instrs: u64, seed: u64) -> ParsecWorkload {
+        assert!(n_threads > 0, "need at least one thread");
+        let mut rng = SplitMix64::new(seed ^ 0x5EED_0000);
+        let mut threads: Vec<Vec<Segment>> = vec![Vec::new(); n_threads];
+
+        // Total parallel work over the whole ROI.
+        let roi_total = phase_instrs * self.phases as u64;
+        // serial_frac = serial / (serial + roi)  =>  serial = roi * f/(1-f)
+        let serial_total = (roi_total as f64 * self.serial_frac / (1.0 - self.serial_frac)) as u64;
+        let serial_init = serial_total * 2 / 3; // init usually dominates
+        let serial_fini = serial_total - serial_init;
+
+        if serial_init > 0 {
+            threads[0].push(Segment::Compute {
+                instrs: serial_init,
+            });
+        }
+        let mut barrier_id = 0u32;
+        // Entry barrier: workers wait for init to finish.
+        for t in threads.iter_mut() {
+            t.push(Segment::Barrier { id: barrier_id });
+        }
+        barrier_id += 1;
+
+        let workers = n_threads.min(self.max_parallelism);
+        for phase in 0..self.phases {
+            // Split the phase work over the participating threads with
+            // imbalance; threads beyond max_parallelism get nothing and
+            // just wait at the barrier (inactive -> Figure 1 behaviour).
+            let share = phase_instrs / workers as u64;
+            for (i, t) in threads.iter_mut().enumerate() {
+                if i < workers {
+                    let f = 1.0 + self.imbalance * rng.next_f64();
+                    let mut work = (share as f64 * f) as u64;
+                    if self.cs_frac > 0.0 {
+                        let cs = ((work as f64) * self.cs_frac) as u64;
+                        work -= cs;
+                        // Split the critical-section work into a few
+                        // acquisitions to create realistic lock traffic.
+                        let pieces = 1 + rng.below(3);
+                        for _ in 0..pieces {
+                            t.push(Segment::Compute {
+                                instrs: work / (pieces + 1),
+                            });
+                            t.push(Segment::Critical {
+                                lock: 0,
+                                instrs: cs / pieces,
+                            });
+                        }
+                        t.push(Segment::Compute {
+                            instrs: work / (pieces + 1),
+                        });
+                    } else {
+                        t.push(Segment::Compute { instrs: work });
+                    }
+                }
+                t.push(Segment::Barrier { id: barrier_id });
+            }
+            barrier_id += 1;
+            let _ = phase;
+        }
+
+        if serial_fini > 0 {
+            threads[0].push(Segment::Compute {
+                instrs: serial_fini,
+            });
+        }
+
+        ParsecWorkload {
+            name: self.name,
+            profile: self.profile.clone(),
+            threads,
+            shared_bytes: self.shared_bytes,
+            shared_frac: self.shared_frac,
+            serial_init,
+            serial_fini,
+        }
+    }
+}
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// All PARSEC-like application templates, in a stable order.
+pub fn all() -> Vec<ParsecApp> {
+    vec![
+        blackscholes_like(),
+        bodytrack_like(),
+        canneal_like(),
+        dedup_like(),
+        ferret_like(),
+        freqmine_like(),
+        raytrace_like(),
+        streamcluster_like(),
+        swaptions_like(),
+    ]
+}
+
+/// Look up an app template by name.
+pub fn app_by_name(name: &str) -> Option<ParsecApp> {
+    all().into_iter().find(|a| a.name == name)
+}
+
+/// blackscholes: embarrassingly parallel FP kernel; scales to any count.
+pub fn blackscholes_like() -> ParsecApp {
+    ParsecApp {
+        name: "blackscholes_like",
+        profile: spec::calculix_like(),
+        max_parallelism: 64,
+        phases: 4,
+        imbalance: 0.05,
+        cs_frac: 0.0,
+        serial_frac: 0.04,
+        shared_bytes: 32 * KB,
+        shared_frac: 0.15,
+    }
+}
+
+/// bodytrack: alternating serial and parallel stages; large serial part.
+pub fn bodytrack_like() -> ParsecApp {
+    ParsecApp {
+        name: "bodytrack_like",
+        profile: spec::h264ref_like(),
+        max_parallelism: 16,
+        phases: 10,
+        imbalance: 0.25,
+        cs_frac: 0.02,
+        serial_frac: 0.18,
+        shared_bytes: 128 * KB,
+        shared_frac: 0.20,
+    }
+}
+
+/// canneal: scales well but is memory-bound (large shared graph,
+/// essentially random access).
+pub fn canneal_like() -> ParsecApp {
+    ParsecApp {
+        name: "canneal_like",
+        profile: spec::mcf_like(),
+        max_parallelism: 64,
+        phases: 6,
+        imbalance: 0.10,
+        cs_frac: 0.01,
+        serial_frac: 0.06,
+        shared_bytes: 16 * MB,
+        shared_frac: 0.40,
+    }
+}
+
+/// dedup: pipeline-parallel; stage imbalance limits useful parallelism.
+pub fn dedup_like() -> ParsecApp {
+    ParsecApp {
+        name: "dedup_like",
+        profile: spec::bzip2_like(),
+        max_parallelism: 12,
+        phases: 8,
+        imbalance: 0.8,
+        cs_frac: 0.05,
+        serial_frac: 0.08,
+        shared_bytes: 192 * KB,
+        shared_frac: 0.25,
+    }
+}
+
+/// ferret: pipeline-parallel similarity search; limited scaling.
+pub fn ferret_like() -> ParsecApp {
+    ParsecApp {
+        name: "ferret_like",
+        profile: spec::gcc_like(),
+        max_parallelism: 10,
+        phases: 8,
+        imbalance: 0.9,
+        cs_frac: 0.04,
+        serial_frac: 0.07,
+        shared_bytes: 192 * KB,
+        shared_frac: 0.30,
+    }
+}
+
+/// freqmine: data-mining with phase-dependent parallelism.
+pub fn freqmine_like() -> ParsecApp {
+    ParsecApp {
+        name: "freqmine_like",
+        profile: spec::astar_like(),
+        max_parallelism: 8,
+        phases: 6,
+        imbalance: 0.6,
+        cs_frac: 0.06,
+        serial_frac: 0.10,
+        shared_bytes: 256 * KB,
+        shared_frac: 0.30,
+    }
+}
+
+/// raytrace: scales well, cache-friendly.
+pub fn raytrace_like() -> ParsecApp {
+    ParsecApp {
+        name: "raytrace_like",
+        profile: spec::namd_like(),
+        max_parallelism: 64,
+        phases: 5,
+        imbalance: 0.15,
+        cs_frac: 0.0,
+        serial_frac: 0.05,
+        shared_bytes: 64 * KB,
+        shared_frac: 0.25,
+    }
+}
+
+/// streamcluster: barrier-heavy streaming kernel.
+pub fn streamcluster_like() -> ParsecApp {
+    ParsecApp {
+        name: "streamcluster_like",
+        profile: spec::milc_like(),
+        max_parallelism: 16,
+        phases: 16,
+        imbalance: 0.15,
+        cs_frac: 0.02,
+        serial_frac: 0.05,
+        shared_bytes: 4 * MB,
+        shared_frac: 0.35,
+    }
+}
+
+/// swaptions: coarse-grained independent work units.
+pub fn swaptions_like() -> ParsecApp {
+    ParsecApp {
+        name: "swaptions_like",
+        profile: spec::gamess_like(),
+        max_parallelism: 64,
+        phases: 2,
+        imbalance: 0.5,
+        cs_frac: 0.0,
+        serial_frac: 0.03,
+        shared_bytes: 32 * KB,
+        shared_frac: 0.10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_apps() {
+        assert_eq!(all().len(), 9);
+    }
+
+    #[test]
+    fn instantiation_is_deterministic() {
+        let app = dedup_like();
+        let a = app.instantiate(8, 100_000, 7);
+        let b = app.instantiate(8, 100_000, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_threads_share_every_barrier() {
+        let app = streamcluster_like();
+        let w = app.instantiate(6, 50_000, 1);
+        let barriers_of = |t: &Vec<Segment>| {
+            t.iter()
+                .filter_map(|s| match s {
+                    Segment::Barrier { id } => Some(*id),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        let first = barriers_of(&w.threads[0]);
+        for t in &w.threads {
+            assert_eq!(barriers_of(t), first, "barrier structure must match");
+        }
+        assert_eq!(first.len() as u32, app.phases + 1);
+    }
+
+    #[test]
+    fn threads_beyond_max_parallelism_get_no_work() {
+        let app = freqmine_like(); // max_parallelism = 8
+        let w = app.instantiate(16, 50_000, 3);
+        for (i, t) in w.threads.iter().enumerate() {
+            let work: u64 = t
+                .iter()
+                .map(|s| match s {
+                    Segment::Compute { instrs } => *instrs,
+                    Segment::Critical { instrs, .. } => *instrs,
+                    _ => 0,
+                })
+                .sum();
+            if i >= 8 {
+                assert_eq!(work, 0, "thread {i} should be idle");
+            } else {
+                assert!(work > 0, "thread {i} should have work");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_work_is_on_thread_zero_only() {
+        let app = bodytrack_like();
+        let w = app.instantiate(4, 100_000, 9);
+        assert!(w.serial_init > 0 && w.serial_fini > 0);
+        // Thread 0 starts with the serial compute, others with a barrier.
+        assert!(matches!(w.threads[0][0], Segment::Compute { .. }));
+        for t in &w.threads[1..] {
+            assert!(matches!(t[0], Segment::Barrier { .. }));
+        }
+    }
+
+    #[test]
+    fn serial_fraction_roughly_honored() {
+        let app = bodytrack_like();
+        let w = app.instantiate(8, 200_000, 5);
+        let serial = (w.serial_init + w.serial_fini) as f64;
+        let total = w.total_instrs() as f64;
+        let f = serial / total;
+        // Imbalance inflates parallel work, so allow slack.
+        assert!(
+            (f - app.serial_frac).abs() < 0.08,
+            "serial fraction {f} vs target {}",
+            app.serial_frac
+        );
+    }
+
+    #[test]
+    fn critical_sections_present_when_configured() {
+        let w = dedup_like().instantiate(8, 100_000, 2);
+        let has_cs = w
+            .threads
+            .iter()
+            .flatten()
+            .any(|s| matches!(s, Segment::Critical { .. }));
+        assert!(has_cs);
+        let w2 = blackscholes_like().instantiate(8, 100_000, 2);
+        let has_cs2 = w2
+            .threads
+            .iter()
+            .flatten()
+            .any(|s| matches!(s, Segment::Critical { .. }));
+        assert!(!has_cs2);
+    }
+}

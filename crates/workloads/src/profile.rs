@@ -1,0 +1,271 @@
+//! Statistical benchmark profiles.
+//!
+//! A [`BenchmarkProfile`] is the synthetic stand-in for a SPEC
+//! benchmark-input pair: a set of distributions from which an unbounded
+//! instruction stream can be generated. The parameters were chosen so
+//! the 12 profiles in [`crate::spec`] span the relative-performance
+//! range across the three core types, mirroring how the paper selected
+//! its 12 representatives.
+
+/// Fractions of each instruction class; must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstrMix {
+    /// Simple integer ALU ops.
+    pub int_alu: f64,
+    /// Integer multiplies.
+    pub int_mul: f64,
+    /// Integer divides.
+    pub int_div: f64,
+    /// Floating-point ops.
+    pub fp_alu: f64,
+    /// Loads.
+    pub load: f64,
+    /// Stores.
+    pub store: f64,
+    /// Conditional branches.
+    pub branch: f64,
+}
+
+impl InstrMix {
+    /// A typical integer-code mix.
+    pub fn typical_int() -> Self {
+        InstrMix {
+            int_alu: 0.40,
+            int_mul: 0.02,
+            int_div: 0.005,
+            fp_alu: 0.005,
+            load: 0.25,
+            store: 0.12,
+            branch: 0.20,
+        }
+    }
+
+    /// A typical floating-point-code mix.
+    pub fn typical_fp() -> Self {
+        InstrMix {
+            int_alu: 0.28,
+            int_mul: 0.02,
+            int_div: 0.005,
+            fp_alu: 0.33,
+            load: 0.25,
+            store: 0.085,
+            branch: 0.03,
+        }
+    }
+
+    /// Sum of all fractions (should be ~1).
+    pub fn total(&self) -> f64 {
+        self.int_alu
+            + self.int_mul
+            + self.int_div
+            + self.fp_alu
+            + self.load
+            + self.store
+            + self.branch
+    }
+}
+
+/// Register-dependency distance distribution, the knob controlling how
+/// much instruction-level parallelism the stream exposes.
+///
+/// With probability `near_frac` a source operand depends on one of the
+/// previous `near_max` instructions (serializing); otherwise it depends
+/// on an instruction up to `far_max` back (or not at all, when the drawn
+/// distance exceeds the instruction's sequence number).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepProfile {
+    /// Probability that a source is a near (serializing) dependence.
+    pub near_frac: f64,
+    /// Maximum distance of a near dependence.
+    pub near_max: u16,
+    /// Maximum distance of a far dependence.
+    pub far_max: u16,
+    /// Probability that the second source operand exists at all.
+    pub two_src_frac: f64,
+}
+
+impl DepProfile {
+    /// High-ILP code: dependences are mostly far apart.
+    pub fn high_ilp() -> Self {
+        DepProfile {
+            near_frac: 0.10,
+            near_max: 2,
+            far_max: 64,
+            two_src_frac: 0.4,
+        }
+    }
+
+    /// Low-ILP code: long serial chains (pointer chasing and similar).
+    pub fn low_ilp() -> Self {
+        DepProfile {
+            near_frac: 0.55,
+            near_max: 2,
+            far_max: 24,
+            two_src_frac: 0.4,
+        }
+    }
+}
+
+/// Memory behaviour: a two-level working set plus a streaming component.
+///
+/// Addresses are drawn from
+/// * a **hot region** of `hot_bytes` (with probability `hot_frac`),
+/// * a **streaming pointer** advancing sequentially through a large
+///   region (probability `stream_frac`),
+/// * a **cold region** of `cold_bytes`, uniformly (remaining probability).
+///
+/// Sizing the regions relative to the Table 1 cache capacities produces
+/// the paper's qualitative classes: a hot set that fits a 32 KB L1 but
+/// not a 6 KB one separates big from small cores; a dominant streaming
+/// component makes the benchmark bandwidth-bound at high thread counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemProfile {
+    /// Bytes in the hot working set.
+    pub hot_bytes: u64,
+    /// Bytes in the cold working set.
+    pub cold_bytes: u64,
+    /// Probability a memory access falls in the hot region.
+    pub hot_frac: f64,
+    /// Probability a memory access is the next streaming element.
+    pub stream_frac: f64,
+    /// Stride of the streaming pointer in bytes.
+    pub stream_stride: u64,
+}
+
+impl MemProfile {
+    /// Cache-resident behaviour (hot set fits every L1).
+    pub fn cache_friendly() -> Self {
+        MemProfile {
+            hot_bytes: 4 * 1024,
+            cold_bytes: 256 * 1024,
+            hot_frac: 0.97,
+            stream_frac: 0.0,
+            stream_stride: 64,
+        }
+    }
+
+    /// Pure streaming behaviour (bandwidth-bound).
+    pub fn streaming() -> Self {
+        MemProfile {
+            hot_bytes: 2 * 1024,
+            cold_bytes: 64 * 1024 * 1024,
+            hot_frac: 0.25,
+            stream_frac: 0.70,
+            stream_stride: 64,
+        }
+    }
+}
+
+/// A complete statistical benchmark description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Stable, SPEC-evocative name (e.g. `"libquantum_like"`).
+    pub name: &'static str,
+    /// Instruction-class mix.
+    pub mix: InstrMix,
+    /// Dependency-distance distribution.
+    pub dep: DepProfile,
+    /// Memory behaviour.
+    pub mem: MemProfile,
+    /// Branch misprediction rate (per branch).
+    pub mispredict_rate: f64,
+    /// Static code footprint in bytes (drives I-cache behaviour).
+    pub code_bytes: u64,
+    /// Probability a fetched instruction jumps to a random code location.
+    pub code_jump_prob: f64,
+}
+
+impl BenchmarkProfile {
+    /// Check internal consistency (fractions sum to 1, probabilities in
+    /// range, non-empty regions).
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let t = self.mix.total();
+        if (t - 1.0).abs() > 1e-6 {
+            return Err(format!("{}: instruction mix sums to {t}", self.name));
+        }
+        for (label, p) in [
+            ("near_frac", self.dep.near_frac),
+            ("two_src_frac", self.dep.two_src_frac),
+            ("hot_frac", self.mem.hot_frac),
+            ("stream_frac", self.mem.stream_frac),
+            ("mispredict_rate", self.mispredict_rate),
+            ("code_jump_prob", self.code_jump_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{}: {label} = {p} out of range", self.name));
+            }
+        }
+        if self.mem.hot_frac + self.mem.stream_frac > 1.0 + 1e-9 {
+            return Err(format!("{}: hot_frac + stream_frac > 1", self.name));
+        }
+        if self.mem.hot_bytes == 0 || self.mem.cold_bytes == 0 || self.code_bytes == 0 {
+            return Err(format!("{}: zero-sized region", self.name));
+        }
+        Ok(())
+    }
+
+    /// Fraction of instructions that access memory.
+    pub fn mem_frac(&self) -> f64 {
+        self.mix.load + self.mix.store
+    }
+
+    /// A crude scalar "memory intensity" in [0, 1], used by the
+    /// symbiosis scheduling heuristic: how much off-core traffic the
+    /// benchmark is expected to generate.
+    pub fn memory_intensity(&self) -> f64 {
+        let miss_prone = self.mem.stream_frac + (1.0 - self.mem.hot_frac - self.mem.stream_frac);
+        (self.mem_frac() * miss_prone * 4.0).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a_profile() -> BenchmarkProfile {
+        BenchmarkProfile {
+            name: "test",
+            mix: InstrMix::typical_int(),
+            dep: DepProfile::high_ilp(),
+            mem: MemProfile::cache_friendly(),
+            mispredict_rate: 0.05,
+            code_bytes: 32 * 1024,
+            code_jump_prob: 0.05,
+        }
+    }
+
+    #[test]
+    fn builtin_mixes_sum_to_one() {
+        assert!((InstrMix::typical_int().total() - 1.0).abs() < 1e-9);
+        assert!((InstrMix::typical_fp().total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn valid_profile_passes() {
+        assert!(a_profile().validate().is_ok());
+    }
+
+    #[test]
+    fn bad_mix_fails_validation() {
+        let mut p = a_profile();
+        p.mix.load += 0.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn bad_probability_fails_validation() {
+        let mut p = a_profile();
+        p.mispredict_rate = 1.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn streaming_is_more_memory_intense_than_friendly() {
+        let mut s = a_profile();
+        s.mem = MemProfile::streaming();
+        assert!(s.memory_intensity() > a_profile().memory_intensity());
+    }
+}

@@ -1,0 +1,122 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator must be exactly reproducible from a seed across runs
+//! and platforms, so we use our own tiny SplitMix64 implementation
+//! rather than an external RNG whose stream might change between
+//! versions. SplitMix64 is statistically strong enough for workload
+//! synthesis and extremely fast.
+
+/// A SplitMix64 PRNG (Steele, Lea & Flood; public-domain algorithm).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Different seeds yield independent
+    /// streams for all practical purposes.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 {
+            // Avoid the all-zero fixed point neighbourhood by mixing once.
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits of uniformity.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in [0, n). `n` must be non-zero.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Multiply-shift rejection-free mapping; tiny bias is irrelevant
+        // for workload synthesis.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Derive an independent child generator (for fan-out to threads).
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = SplitMix64::new(11);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "count {c} not ~10000");
+        }
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut parent = SplitMix64::new(5);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+}

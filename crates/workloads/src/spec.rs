@@ -1,0 +1,485 @@
+//! The 12 SPEC-like benchmark profiles.
+//!
+//! The paper selects 12 SPEC CPU2006 benchmark-inputs that *cover the
+//! full relative-performance range* across the three core types. These
+//! synthetic profiles are constructed to cover the same range:
+//!
+//! * **core-bound, cache-friendly** profiles (`hmmer_like`,
+//!   `calculix_like`, `gamess_like`, `tonto_like`, `namd_like`,
+//!   `h264ref_like`) gain the most from the big core's width and ROB and
+//!   keep scaling with aggregate core resources — the paper's *tonto
+//!   class* (Figure 4a);
+//! * **intermediate** profiles (`gcc_like`, `bzip2_like`, `astar_like`)
+//!   with larger working sets and worse branch behaviour;
+//! * **memory-bound** profiles (`mcf_like`, `libquantum_like`,
+//!   `milc_like`) whose performance at high thread counts is dominated
+//!   by shared-resource contention — the paper's *libquantum class*
+//!   (Figure 4b).
+//!
+//! Names are suffixed `_like` throughout: they are synthetic analogues,
+//! not the SPEC programs.
+
+use crate::profile::{BenchmarkProfile, DepProfile, InstrMix, MemProfile};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// All 12 profiles, in a stable order used across the whole crate
+/// (indices into this slice identify benchmarks in workload mixes).
+pub fn all() -> Vec<BenchmarkProfile> {
+    vec![
+        hmmer_like(),
+        calculix_like(),
+        gamess_like(),
+        tonto_like(),
+        namd_like(),
+        h264ref_like(),
+        gcc_like(),
+        bzip2_like(),
+        astar_like(),
+        mcf_like(),
+        libquantum_like(),
+        milc_like(),
+    ]
+}
+
+/// Look up a profile by name.
+pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+/// Names of all profiles in index order.
+pub fn names() -> Vec<&'static str> {
+    all().iter().map(|p| p.name).collect()
+}
+
+/// hmmer: extremely regular integer code, near-perfect caches, very high
+/// ILP. The strongest case for a wide core.
+pub fn hmmer_like() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "hmmer_like",
+        mix: InstrMix {
+            int_alu: 0.46,
+            int_mul: 0.02,
+            int_div: 0.0,
+            fp_alu: 0.01,
+            load: 0.28,
+            store: 0.13,
+            branch: 0.10,
+        },
+        dep: DepProfile {
+            near_frac: 0.06,
+            near_max: 2,
+            far_max: 96,
+            two_src_frac: 0.45,
+        },
+        mem: MemProfile {
+            hot_bytes: 4 * KB,
+            cold_bytes: 128 * KB,
+            hot_frac: 0.985,
+            stream_frac: 0.0,
+            stream_stride: 64,
+        },
+        mispredict_rate: 0.006,
+        code_bytes: 4 * KB,
+        code_jump_prob: 0.02,
+    }
+}
+
+/// calculix: FP solver, high ILP, small hot set.
+pub fn calculix_like() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "calculix_like",
+        mix: InstrMix::typical_fp(),
+        dep: DepProfile {
+            near_frac: 0.08,
+            near_max: 2,
+            far_max: 80,
+            two_src_frac: 0.5,
+        },
+        mem: MemProfile {
+            hot_bytes: 12 * KB,
+            cold_bytes: 512 * KB,
+            hot_frac: 0.98,
+            stream_frac: 0.01,
+            stream_stride: 64,
+        },
+        mispredict_rate: 0.012,
+        code_bytes: 8 * KB,
+        code_jump_prob: 0.03,
+    }
+}
+
+/// gamess: FP chemistry, high ILP, tiny footprint.
+pub fn gamess_like() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "gamess_like",
+        mix: InstrMix {
+            int_alu: 0.25,
+            int_mul: 0.02,
+            int_div: 0.005,
+            fp_alu: 0.36,
+            load: 0.23,
+            store: 0.085,
+            branch: 0.05,
+        },
+        dep: DepProfile {
+            near_frac: 0.10,
+            near_max: 2,
+            far_max: 72,
+            two_src_frac: 0.5,
+        },
+        mem: MemProfile {
+            hot_bytes: 8 * KB,
+            cold_bytes: 256 * KB,
+            hot_frac: 0.985,
+            stream_frac: 0.0,
+            stream_stride: 64,
+        },
+        mispredict_rate: 0.015,
+        code_bytes: 12 * KB,
+        code_jump_prob: 0.03,
+    }
+}
+
+/// tonto: FP chemistry. The paper's example of a benchmark that keeps
+/// benefiting from more aggregate core resources (Figure 4a): high ILP,
+/// hot set that fits a big core's L1 but thrashes the small core's.
+pub fn tonto_like() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "tonto_like",
+        mix: InstrMix {
+            int_alu: 0.27,
+            int_mul: 0.02,
+            int_div: 0.005,
+            fp_alu: 0.325,
+            load: 0.25,
+            store: 0.10,
+            branch: 0.03,
+        },
+        dep: DepProfile {
+            near_frac: 0.09,
+            near_max: 2,
+            far_max: 88,
+            two_src_frac: 0.5,
+        },
+        mem: MemProfile {
+            hot_bytes: 24 * KB,
+            cold_bytes: MB,
+            hot_frac: 0.955,
+            stream_frac: 0.02,
+            stream_stride: 64,
+        },
+        mispredict_rate: 0.014,
+        code_bytes: 16 * KB,
+        code_jump_prob: 0.04,
+    }
+}
+
+/// namd: molecular dynamics, FP, very regular.
+pub fn namd_like() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "namd_like",
+        mix: InstrMix {
+            int_alu: 0.24,
+            int_mul: 0.015,
+            int_div: 0.005,
+            fp_alu: 0.40,
+            load: 0.24,
+            store: 0.07,
+            branch: 0.03,
+        },
+        dep: DepProfile {
+            near_frac: 0.08,
+            near_max: 2,
+            far_max: 80,
+            two_src_frac: 0.55,
+        },
+        mem: MemProfile {
+            hot_bytes: 40 * KB,
+            cold_bytes: 2 * MB,
+            hot_frac: 0.95,
+            stream_frac: 0.03,
+            stream_stride: 64,
+        },
+        mispredict_rate: 0.010,
+        code_bytes: 8 * KB,
+        code_jump_prob: 0.02,
+    }
+}
+
+/// h264ref: video encoder, integer, moderate ILP, mid-size hot set.
+pub fn h264ref_like() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "h264ref_like",
+        mix: InstrMix {
+            int_alu: 0.42,
+            int_mul: 0.03,
+            int_div: 0.005,
+            fp_alu: 0.015,
+            load: 0.27,
+            store: 0.12,
+            branch: 0.14,
+        },
+        dep: DepProfile {
+            near_frac: 0.18,
+            near_max: 3,
+            far_max: 56,
+            two_src_frac: 0.45,
+        },
+        mem: MemProfile {
+            hot_bytes: 48 * KB,
+            cold_bytes: 4 * MB,
+            hot_frac: 0.94,
+            stream_frac: 0.04,
+            stream_stride: 64,
+        },
+        mispredict_rate: 0.035,
+        code_bytes: 16 * KB,
+        code_jump_prob: 0.03,
+    }
+}
+
+/// gcc: compiler, big code footprint (I-cache pressure), mid working set.
+pub fn gcc_like() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "gcc_like",
+        mix: InstrMix::typical_int(),
+        dep: DepProfile {
+            near_frac: 0.28,
+            near_max: 3,
+            far_max: 40,
+            two_src_frac: 0.4,
+        },
+        mem: MemProfile {
+            hot_bytes: 64 * KB,
+            cold_bytes: 4 * MB,
+            hot_frac: 0.93,
+            stream_frac: 0.03,
+            stream_stride: 64,
+        },
+        mispredict_rate: 0.055,
+        code_bytes: 24 * KB,
+        code_jump_prob: 0.04,
+    }
+}
+
+/// bzip2: compression, integer, mid working set, data-dependent branches.
+pub fn bzip2_like() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "bzip2_like",
+        mix: InstrMix {
+            int_alu: 0.43,
+            int_mul: 0.01,
+            int_div: 0.0,
+            fp_alu: 0.0,
+            load: 0.26,
+            store: 0.12,
+            branch: 0.18,
+        },
+        dep: DepProfile {
+            near_frac: 0.30,
+            near_max: 3,
+            far_max: 36,
+            two_src_frac: 0.4,
+        },
+        mem: MemProfile {
+            hot_bytes: 64 * KB,
+            cold_bytes: 2 * MB,
+            hot_frac: 0.90,
+            stream_frac: 0.06,
+            stream_stride: 64,
+        },
+        mispredict_rate: 0.075,
+        code_bytes: 8 * KB,
+        code_jump_prob: 0.03,
+    }
+}
+
+/// astar: path-finding, pointer-ish integer code, poor branches.
+pub fn astar_like() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "astar_like",
+        mix: InstrMix {
+            int_alu: 0.40,
+            int_mul: 0.005,
+            int_div: 0.0,
+            fp_alu: 0.015,
+            load: 0.30,
+            store: 0.10,
+            branch: 0.18,
+        },
+        dep: DepProfile {
+            near_frac: 0.40,
+            near_max: 2,
+            far_max: 28,
+            two_src_frac: 0.35,
+        },
+        mem: MemProfile {
+            hot_bytes: 24 * KB,
+            cold_bytes: 16 * MB,
+            hot_frac: 0.86,
+            stream_frac: 0.02,
+            stream_stride: 64,
+        },
+        mispredict_rate: 0.09,
+        code_bytes: 12 * KB,
+        code_jump_prob: 0.05,
+    }
+}
+
+/// mcf: the canonical pointer-chasing, DRAM-latency-bound benchmark:
+/// long dependence chains through loads, huge sparse working set.
+pub fn mcf_like() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "mcf_like",
+        mix: InstrMix {
+            int_alu: 0.35,
+            int_mul: 0.0,
+            int_div: 0.0,
+            fp_alu: 0.0,
+            load: 0.35,
+            store: 0.08,
+            branch: 0.22,
+        },
+        dep: DepProfile {
+            near_frac: 0.60,
+            near_max: 2,
+            far_max: 20,
+            two_src_frac: 0.35,
+        },
+        mem: MemProfile {
+            hot_bytes: 8 * KB,
+            cold_bytes: 48 * MB,
+            hot_frac: 0.55,
+            stream_frac: 0.0,
+            stream_stride: 64,
+        },
+        mispredict_rate: 0.10,
+        code_bytes: 6 * KB,
+        code_jump_prob: 0.03,
+    }
+}
+
+/// libquantum: the paper's example of a streaming, bandwidth-bound
+/// benchmark (Figure 4b): vectorizable high-ILP code sweeping a huge
+/// array, saturating the off-chip bus at high thread counts.
+pub fn libquantum_like() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "libquantum_like",
+        mix: InstrMix {
+            int_alu: 0.38,
+            int_mul: 0.01,
+            int_div: 0.0,
+            fp_alu: 0.02,
+            load: 0.33,
+            store: 0.14,
+            branch: 0.12,
+        },
+        dep: DepProfile {
+            near_frac: 0.10,
+            near_max: 2,
+            far_max: 64,
+            two_src_frac: 0.4,
+        },
+        mem: MemProfile {
+            hot_bytes: 4 * KB,
+            cold_bytes: 64 * MB,
+            hot_frac: 0.22,
+            stream_frac: 0.74,
+            stream_stride: 64,
+        },
+        mispredict_rate: 0.015,
+        code_bytes: 4 * KB,
+        code_jump_prob: 0.02,
+    }
+}
+
+/// milc: FP lattice QCD, streaming with some reuse.
+pub fn milc_like() -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: "milc_like",
+        mix: InstrMix {
+            int_alu: 0.22,
+            int_mul: 0.01,
+            int_div: 0.0,
+            fp_alu: 0.38,
+            load: 0.27,
+            store: 0.09,
+            branch: 0.03,
+        },
+        dep: DepProfile {
+            near_frac: 0.12,
+            near_max: 2,
+            far_max: 64,
+            two_src_frac: 0.5,
+        },
+        mem: MemProfile {
+            hot_bytes: 16 * KB,
+            cold_bytes: 32 * MB,
+            hot_frac: 0.40,
+            stream_frac: 0.52,
+            stream_stride: 64,
+        },
+        mispredict_rate: 0.010,
+        code_bytes: 12 * KB,
+        code_jump_prob: 0.02,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_twelve_profiles() {
+        assert_eq!(all().len(), 12);
+    }
+
+    #[test]
+    fn all_profiles_validate() {
+        for p in all() {
+            p.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names = names();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for p in all() {
+            assert_eq!(by_name(p.name).unwrap(), p);
+        }
+        assert!(by_name("not_a_benchmark").is_none());
+    }
+
+    #[test]
+    fn memory_intensity_spans_a_range() {
+        let profs = all();
+        let min = profs
+            .iter()
+            .map(|p| p.memory_intensity())
+            .fold(f64::MAX, f64::min);
+        let max = profs
+            .iter()
+            .map(|p| p.memory_intensity())
+            .fold(f64::MIN, f64::max);
+        assert!(min < 0.05, "most cache-friendly too intense: {min}");
+        assert!(max > 0.5, "most memory-bound not intense enough: {max}");
+    }
+
+    #[test]
+    fn classes_are_ordered() {
+        assert!(
+            libquantum_like().memory_intensity() > tonto_like().memory_intensity() * 5.0,
+            "libquantum must be much more memory-bound than tonto"
+        );
+        assert!(mcf_like().memory_intensity() > gcc_like().memory_intensity());
+    }
+}

@@ -1,0 +1,44 @@
+//! Capacity planning for a datacenter node: which multi-core design
+//! serves a datacenter-like active-thread distribution best, and what
+//! does it cost in power? (The Figure 10 / Figure 15 question.)
+//!
+//! Run with `cargo run --release --example datacenter`.
+
+use tlpsim::core::configs::nine_designs;
+use tlpsim::core::ctx::{Ctx, WorkloadKind};
+use tlpsim::core::experiments::fig10_datacenter;
+use tlpsim::core::SimScale;
+use tlpsim::workloads::ThreadCountDistribution;
+
+fn main() {
+    let dist = ThreadCountDistribution::datacenter(24);
+    println!(
+        "datacenter active-thread distribution (mean {:.1} threads):",
+        dist.mean()
+    );
+    for (n, p) in dist.iter() {
+        if n <= 12 || n == 24 {
+            println!("  {n:>2} threads: {}", "#".repeat((p * 200.0) as usize));
+        }
+    }
+    println!();
+
+    let ctx = Ctx::new(SimScale::quick());
+    for (dist_name, smt, bars) in fig10_datacenter(&ctx) {
+        println!("{}", bars.render());
+        let (best, v) = bars.best();
+        let v4b = bars.value("4B").expect("4B present");
+        println!(
+            "  [{dist_name}, SMT={smt}] best = {best} ({v:.3}); 4B at {:.1}% of best\n",
+            100.0 * v4b / v
+        );
+    }
+
+    println!(
+        "designs evaluated: {:?}",
+        nine_designs()
+            .iter()
+            .map(|d| d.name.clone())
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,22 @@
+//! Reproduce the core of the paper's argument (Figures 6-8): compare
+//! the nine power-equivalent multi-core designs under a uniform
+//! active-thread-count distribution, with three SMT policies.
+//!
+//! Run with `cargo run --release --example design_space`.
+
+use tlpsim::core::ctx::{Ctx, WorkloadKind};
+use tlpsim::core::experiments::{fig6to8_uniform, SmtPolicy};
+use tlpsim::core::SimScale;
+
+fn main() {
+    // Share the simulation-result cache with the bench harness.
+    let ctx = Ctx::with_disk_cache(SimScale::quick(), "target/tlpsim-cache-quick.txt");
+    for kind in [WorkloadKind::Homogeneous, WorkloadKind::Heterogeneous] {
+        for policy in [SmtPolicy::None, SmtPolicy::HomogeneousOnly, SmtPolicy::All] {
+            let bars = fig6to8_uniform(&ctx, kind, policy);
+            println!("{}", bars.render());
+            let (best, v) = bars.best();
+            println!("   best: {best} ({v:.3})\n");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Multi-threaded application scaling: how PARSEC-like applications
+//! with different synchronization behaviour scale on the 4B design,
+//! and how much time they spend at reduced active thread counts
+//! (the Figure 1 / Section 5 story).
+//!
+//! Run with `cargo run --release --example parsec_scaling`.
+
+use tlpsim::core::configs::by_name;
+use tlpsim::core::ctx::Ctx;
+use tlpsim::core::SimScale;
+use tlpsim::workloads::parsec;
+
+fn main() {
+    let ctx = Ctx::new(SimScale::quick());
+    let d4b = by_name("4B").expect("4B exists");
+    let apps = parsec::all();
+
+    println!("ROI speedup on 4B (SMT) vs its own 4-thread run:\n");
+    println!(
+        "{:20} {:>7} {:>7} {:>7}  active@max",
+        "app", "4thr", "8thr", "24thr"
+    );
+    for (a, app) in apps.iter().enumerate() {
+        let t4 = ctx.parsec_run(&d4b, a, 4, true, 8.0).roi_cycles;
+        let t8 = ctx.parsec_run(&d4b, a, 8, true, 8.0).roi_cycles;
+        let r24 = ctx.parsec_run(&d4b, a, 24, true, 8.0);
+        let t24 = r24.roi_cycles;
+        // Fraction of ROI time with at least 20 runnable threads.
+        let total: u64 = r24.histogram.iter().sum();
+        let full: u64 = r24.histogram.iter().skip(20).sum();
+        println!(
+            "{:20} {:>7.2} {:>7.2} {:>7.2}  {:>5.1}%",
+            app.name,
+            1.0,
+            t4 as f64 / t8 as f64,
+            t4 as f64 / t24 as f64,
+            100.0 * full as f64 / total.max(1) as f64,
+        );
+    }
+    println!(
+        "\nApps with barriers/imbalance/serial phases spend much of the ROI\n\
+         below full thread count — the paper's motivation for SMT's\n\
+         flexibility towards varying thread-level parallelism."
+    );
+}

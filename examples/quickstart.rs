@@ -1,0 +1,40 @@
+//! Quickstart: simulate two programs sharing one big SMT core and
+//! print per-program performance, chip power, and memory behaviour.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use tlpsim::power::PowerModel;
+use tlpsim::uarch::{ChipConfig, CoreConfig, MultiCore, ThreadProgram};
+use tlpsim::workloads::{spec, InstrStream};
+
+fn main() {
+    // A chip with one big out-of-order core (4-wide, 128-entry ROB,
+    // 6 SMT contexts) and the paper's memory hierarchy.
+    let chip = ChipConfig::homogeneous(1, CoreConfig::big(), 2.66);
+    let mut sim = MultiCore::new(&chip);
+
+    // Two synthetic SPEC-like programs: one compute-bound, one
+    // memory-bound — a classic symbiotic SMT pair.
+    let budget = 50_000;
+    let programs = [spec::hmmer_like(), spec::mcf_like()];
+    for (i, prof) in programs.iter().enumerate() {
+        let stream = InstrStream::new(prof, i as u64, 42);
+        let t = sim.add_thread(ThreadProgram::multiprogram(stream, budget));
+        sim.pin(t, 0, i); // same core, SMT contexts 0 and 1
+    }
+
+    sim.prewarm(); // functional cache warming (SimPoint-style)
+    let run = sim.run().expect("no deadlock");
+
+    for (i, (t, prof)) in run.threads.iter().zip(&programs).enumerate() {
+        println!("thread {i} ({:18}) IPC = {:.3}", prof.name, t.ipc(budget));
+    }
+    let power = PowerModel::with_power_gating().report(&chip, &run);
+    println!("chip power            = {:.1} W", power.avg_power_w);
+    println!(
+        "LLC miss rate         = {:.1} %",
+        run.mem.llc_miss_rate() * 100.0
+    );
+    println!("off-chip traffic      = {} KB", run.mem.bus_bytes / 1024);
+    println!("simulated cycles      = {}", run.cycles);
+}

@@ -1,0 +1,12 @@
+//! # tlpsim — umbrella crate
+//!
+//! Re-exports the whole workspace under one roof so examples and
+//! integration tests can use a single dependency. See the README for the
+//! project overview and `DESIGN.md` for the system inventory.
+
+pub use tlpsim_core as core;
+pub use tlpsim_mem as mem;
+pub use tlpsim_power as power;
+pub use tlpsim_sched as sched;
+pub use tlpsim_uarch as uarch;
+pub use tlpsim_workloads as workloads;

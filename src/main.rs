@@ -1,0 +1,127 @@
+//! `tlpsim` command-line interface.
+//!
+//! ```text
+//! tlpsim list                          # benchmarks, apps and designs
+//! tlpsim run 4B 8 --no-smt             # 8-thread mix on the 4B design
+//! tlpsim run 2B10s 12 --bench mcf_like # homogeneous 12-copy workload
+//! tlpsim app 4B blackscholes_like 8    # a multi-threaded app run
+//! ```
+
+use tlpsim::core::configs;
+use tlpsim::core::ctx::{Ctx, WorkloadKind};
+use tlpsim::core::SimScale;
+use tlpsim::workloads::{parsec, spec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  tlpsim list\n  tlpsim run <design> <threads> [--no-smt] [--bench <name>] [--bus16]\n  tlpsim app <design> <app> <threads> [--no-smt]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("designs:");
+            for d in configs::nine_designs()
+                .iter()
+                .chain(&configs::alt_designs())
+            {
+                println!(
+                    "  {:>7}: {}B {}m {}s, {} contexts @ {} GHz",
+                    d.name,
+                    d.big,
+                    d.medium,
+                    d.small,
+                    d.contexts(),
+                    d.freq_ghz
+                );
+            }
+            println!("benchmarks (SPEC-like):");
+            for n in spec::names() {
+                println!("  {n}");
+            }
+            println!("applications (PARSEC-like):");
+            for a in parsec::all() {
+                println!("  {}", a.name);
+            }
+        }
+        Some("run") => {
+            if args.len() < 3 {
+                usage();
+            }
+            let design = configs::by_name(&args[1]).unwrap_or_else(|| {
+                eprintln!("unknown design {}", args[1]);
+                std::process::exit(2)
+            });
+            let n: usize = args[2].parse().unwrap_or_else(|_| usage());
+            let smt = !args.iter().any(|a| a == "--no-smt");
+            let bus = if args.iter().any(|a| a == "--bus16") {
+                16.0
+            } else {
+                8.0
+            };
+            let bench = args
+                .iter()
+                .position(|a| a == "--bench")
+                .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+
+            let ctx = Ctx::new(SimScale::quick());
+            match bench {
+                None => {
+                    let cell = ctx.mp_cell_bus(&design, n, WorkloadKind::Heterogeneous, smt, bus);
+                    println!(
+                        "{} @ {n} threads (SMT={smt}, {bus} GB/s), heterogeneous mixes:",
+                        design.name
+                    );
+                    println!(
+                        "  STP  = {:.3} (harmonic mean of 12 mixes)",
+                        cell.mean_stp()
+                    );
+                    println!("  ANTT = {:.3}", cell.mean_antt());
+                    println!("  power= {:.1} W (idle cores gated)", cell.mean_power());
+                }
+                Some(bname) => {
+                    let Some(b) = spec::names().iter().position(|x| *x == bname) else {
+                        eprintln!("unknown benchmark {bname}");
+                        std::process::exit(2)
+                    };
+                    let cell = ctx.mp_cell_bus(&design, n, WorkloadKind::Homogeneous, smt, bus);
+                    println!(
+                        "{} @ {n} copies of {bname} (SMT={smt}):\n  STP  = {:.3}\n  ANTT = {:.3}\n  power= {:.1} W",
+                        design.name, cell.stp[b], cell.antt[b], cell.power_w[b]
+                    );
+                }
+            }
+        }
+        Some("app") => {
+            if args.len() < 4 {
+                usage();
+            }
+            let design = configs::by_name(&args[1]).unwrap_or_else(|| usage());
+            let apps = parsec::all();
+            let Some(a) = apps.iter().position(|x| x.name == args[2]) else {
+                eprintln!("unknown app {}", args[2]);
+                std::process::exit(2)
+            };
+            let n: usize = args[3].parse().unwrap_or_else(|_| usage());
+            let smt = !args.iter().any(|x| x == "--no-smt");
+            let ctx = Ctx::new(SimScale::quick());
+            let r = ctx.parsec_run(&design, a, n, smt, 8.0);
+            println!(
+                "{} x{n} on {} (SMT={smt}): ROI {} cycles, whole {} cycles",
+                args[2], design.name, r.roi_cycles, r.total_cycles
+            );
+            let total: u64 = r.histogram.iter().sum();
+            if total > 0 {
+                let full: u64 = r.histogram.iter().skip(n).sum();
+                println!(
+                    "  fully-active fraction of ROI: {:.1}%",
+                    100.0 * full as f64 / total as f64
+                );
+            }
+        }
+        _ => usage(),
+    }
+}

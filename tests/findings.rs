@@ -1,0 +1,142 @@
+//! Shape-level checks of the paper's findings (quick simulation scale,
+//! reduced design subset — the full sweeps live in the bench harness
+//! and EXPERIMENTS.md).
+
+use tlpsim::core::configs::by_name;
+use tlpsim::core::ctx::{Ctx, WorkloadKind};
+use tlpsim::core::dynamic::dynamic_stp;
+use tlpsim::core::SimScale;
+
+use std::sync::OnceLock;
+
+/// One shared context: the findings tests reuse each other's cells.
+fn ctx() -> &'static Ctx {
+    static CTX: OnceLock<Ctx> = OnceLock::new();
+    CTX.get_or_init(|| Ctx::new(SimScale::quick()))
+}
+
+/// Finding #1 (low-thread half): with few active threads, the all-big
+/// SMT design beats the all-small design outright — each thread owns a
+/// big core.
+#[test]
+fn few_threads_favor_big_cores() {
+    let ctx = ctx();
+    let d4b = by_name("4B").unwrap();
+    let d20s = by_name("20s").unwrap();
+    for kind in [WorkloadKind::Homogeneous, WorkloadKind::Heterogeneous] {
+        let b = ctx.mp_cell(&d4b, 2, kind, true).mean_stp();
+        let s = ctx.mp_cell(&d20s, 2, kind, true).mean_stp();
+        assert!(
+            b > s * 1.3,
+            "{kind:?}: 4B ({b:.2}) should clearly beat 20s ({s:.2}) at 2 threads"
+        );
+    }
+}
+
+/// Finding #1 (high-thread half): at 24 threads the many-small-core
+/// design wins on raw throughput, but 4B with SMT stays within range
+/// (shared-resource contention flattens the gap).
+#[test]
+fn many_threads_keep_4b_competitive() {
+    let ctx = ctx();
+    let d4b = by_name("4B").unwrap();
+    let d20s = by_name("20s").unwrap();
+    let kind = WorkloadKind::Heterogeneous;
+    let b = ctx.mp_cell(&d4b, 24, kind, true).mean_stp();
+    let s = ctx.mp_cell(&d20s, 24, kind, true).mean_stp();
+    assert!(
+        b > s * 0.55,
+        "4B at 24 threads ({b:.2}) fell too far behind 20s ({s:.2})"
+    );
+}
+
+/// Finding #2: without SMT, a heterogeneous design beats the
+/// homogeneous all-big design across varying thread counts (big cores
+/// alone can only run 4 threads at a time).
+#[test]
+fn without_smt_heterogeneity_wins() {
+    let ctx = ctx();
+    let d4b = by_name("4B").unwrap();
+    let het = by_name("2B10s").unwrap();
+    let kind = WorkloadKind::Heterogeneous;
+    // Average over a small thread-count sample (uniform-ish).
+    let avg = |d: &tlpsim::core::configs::Design| -> f64 {
+        [2usize, 8, 16, 24]
+            .iter()
+            .map(|&n| ctx.mp_cell(d, n, kind, false).mean_stp())
+            .sum::<f64>()
+            / 4.0
+    };
+    let b = avg(&d4b);
+    let h = avg(&het);
+    assert!(
+        h > b,
+        "no-SMT: heterogeneous 2B10s ({h:.2}) should beat 4B ({b:.2})"
+    );
+}
+
+/// Finding #3: adding SMT to the homogeneous big-core design beats the
+/// heterogeneous design without SMT.
+#[test]
+fn smt_beats_heterogeneity() {
+    let ctx = ctx();
+    let d4b = by_name("4B").unwrap();
+    let het = by_name("2B10s").unwrap();
+    let kind = WorkloadKind::Heterogeneous;
+    let avg = |d: &tlpsim::core::configs::Design, smt: bool| -> f64 {
+        [2usize, 8, 16, 24]
+            .iter()
+            .map(|&n| ctx.mp_cell(d, n, kind, smt).mean_stp())
+            .sum::<f64>()
+            / 4.0
+    };
+    let b_smt = avg(&d4b, true);
+    let h_nosmt = avg(&het, false);
+    assert!(
+        b_smt > h_nosmt,
+        "4B+SMT ({b_smt:.2}) should beat heterogeneous no-SMT ({h_nosmt:.2})"
+    );
+}
+
+/// Finding #8: the ideal dynamic multi-core dominates every static
+/// design by construction, and 4B with SMT comes close to the no-SMT
+/// dynamic design.
+#[test]
+fn dynamic_oracle_dominates_but_4b_is_close() {
+    let ctx = ctx();
+    let d4b = by_name("4B").unwrap();
+    let kind = WorkloadKind::Heterogeneous;
+    let n = 8;
+    let dyn_nosmt = dynamic_stp(ctx, n, kind, false);
+    let b = ctx.mp_cell(&d4b, n, kind, true).mean_stp();
+    let dyn_smt = dynamic_stp(ctx, n, kind, true);
+    assert!(dyn_smt >= b - 1e-9, "dynamic+SMT must dominate 4B+SMT");
+    assert!(
+        b > dyn_nosmt * 0.7,
+        "4B+SMT ({b:.2}) should be competitive with dynamic no-SMT ({dyn_nosmt:.2})"
+    );
+}
+
+/// Finding #9 (direction): power gating makes low-thread-count
+/// operation cheaper on many-core designs, but the overall
+/// energy-efficiency ordering keeps 4B competitive.
+#[test]
+fn power_grows_with_thread_count_and_small_cores_use_less() {
+    let ctx = ctx();
+    let d4b = by_name("4B").unwrap();
+    let d20s = by_name("20s").unwrap();
+    let kind = WorkloadKind::Homogeneous;
+    let p4b_1 = ctx.mp_cell(&d4b, 1, kind, true).mean_power();
+    let p4b_24 = ctx.mp_cell(&d4b, 24, kind, true).mean_power();
+    let p20s_1 = ctx.mp_cell(&d20s, 1, kind, true).mean_power();
+    assert!(p4b_24 > p4b_1, "more threads must cost more power");
+    assert!(
+        p20s_1 < p4b_1,
+        "a single small core ({p20s_1:.1} W) must be cheaper than a big one ({p4b_1:.1} W)"
+    );
+    // Figure 14 anchor: one active big core around 15-19 W.
+    assert!(
+        (12.0..22.0).contains(&p4b_1),
+        "4B @ 1 thread power {p4b_1:.1} W out of calibration range"
+    );
+}

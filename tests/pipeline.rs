@@ -1,0 +1,146 @@
+//! End-to-end integration: workload generation -> scheduling ->
+//! cycle-level simulation -> metrics -> power, across all crates.
+
+use tlpsim::core::metrics;
+use tlpsim::power::{CoreKind, PowerModel};
+use tlpsim::sched::{assign_threads, ThreadTraits};
+use tlpsim::uarch::{ChipConfig, CoreConfig, MultiCore, ThreadProgram};
+use tlpsim::workloads::{spec, InstrStream};
+
+const WARMUP: u64 = 4_000;
+const BUDGET: u64 = 10_000;
+
+/// Full pipeline on a heterogeneous chip (1B6m-style) with a real mix.
+#[test]
+fn heterogeneous_chip_end_to_end() {
+    let mut cores = vec![CoreConfig::big()];
+    cores.extend(std::iter::repeat(CoreConfig::medium()).take(6));
+    let chip = ChipConfig::heterogeneous(&cores, 2.66);
+
+    let profiles = spec::all();
+    let mix = [0usize, 9, 10, 6, 1, 11, 7, 3, 5]; // 9 varied programs
+    let traits: Vec<ThreadTraits> = mix
+        .iter()
+        .map(|&b| ThreadTraits {
+            big_core_benefit: 1.0 + profiles[b].memory_intensity(),
+            memory_intensity: profiles[b].memory_intensity(),
+        })
+        .collect();
+    let placements = assign_threads(&chip, &traits, true);
+
+    let mut sim = MultiCore::new(&chip);
+    for (i, &b) in mix.iter().enumerate() {
+        let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+            InstrStream::new(&profiles[b], i as u64, 5),
+            WARMUP,
+            BUDGET,
+        ));
+        sim.pin(t, placements[i].core, placements[i].slot);
+    }
+    sim.prewarm();
+    let run = sim.run().expect("no deadlock");
+
+    // Every program finished its measured window.
+    assert!(run.threads.iter().all(|t| t.finish_cycle.is_some()));
+    // STP is bounded by thread count and must be positive.
+    let pairs: Vec<(f64, f64)> = run.threads.iter().map(|t| (t.ipc(BUDGET), 1.0)).collect();
+    let raw_sum = metrics::stp(&pairs);
+    assert!(raw_sum > 0.0);
+    // ANTT >= 1 when normalized against a faster baseline.
+    let slowdowns: Vec<(f64, f64)> = run
+        .threads
+        .iter()
+        .map(|t| {
+            let ipc = t.ipc(BUDGET);
+            (ipc, ipc * 1.5)
+        })
+        .collect();
+    assert!(metrics::antt(&slowdowns) >= 1.0);
+
+    // Power report is physically plausible for a ~40W-budget chip.
+    let report = PowerModel::with_power_gating().report(&chip, &run);
+    assert!(
+        (8.0..70.0).contains(&report.avg_power_w),
+        "implausible power {}",
+        report.avg_power_w
+    );
+    assert!(report.energy_j > 0.0);
+    assert!(report.edp() > 0.0);
+    // Gating must not exceed the no-gating estimate.
+    let nogate = PowerModel::without_power_gating().report(&chip, &run);
+    assert!(nogate.avg_power_w >= report.avg_power_w - 1e-9);
+}
+
+/// The scheduler's big-core preference is visible in measured IPC:
+/// the single high-benefit thread must land on the big core and run
+/// faster than it would on a medium core.
+#[test]
+fn scheduling_affects_measured_performance() {
+    let mut cores = vec![CoreConfig::big()];
+    cores.extend(std::iter::repeat(CoreConfig::medium()).take(2));
+    let chip = ChipConfig::heterogeneous(&cores, 2.66);
+    let p = spec::hmmer_like();
+
+    // One compute-hungry thread + two fillers.
+    let traits = vec![
+        ThreadTraits {
+            big_core_benefit: 3.0,
+            memory_intensity: 0.1,
+        },
+        ThreadTraits::default(),
+        ThreadTraits::default(),
+    ];
+    let placements = assign_threads(&chip, &traits, true);
+    assert_eq!(placements[0].core, 0, "high-benefit thread on the big core");
+
+    let mut sim = MultiCore::new(&chip);
+    for (i, pl) in placements.iter().enumerate() {
+        let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+            InstrStream::new(&p, i as u64, 9),
+            WARMUP,
+            BUDGET,
+        ));
+        sim.pin(t, pl.core, pl.slot);
+    }
+    sim.prewarm();
+    let run = sim.run().expect("no deadlock");
+    let big_ipc = run.threads[0].ipc(BUDGET);
+    let med_ipc = run.threads[1].ipc(BUDGET).max(run.threads[2].ipc(BUDGET));
+    assert!(
+        big_ipc > med_ipc,
+        "big-core thread {big_ipc} should outrun medium-core threads {med_ipc}"
+    );
+}
+
+/// Power-model/ChipConfig classification agreement across core types.
+#[test]
+fn power_classification_matches_chip() {
+    for (cfg, kind) in [
+        (CoreConfig::big(), CoreKind::Big),
+        (CoreConfig::medium(), CoreKind::Medium),
+        (CoreConfig::small(), CoreKind::Small),
+    ] {
+        assert_eq!(CoreKind::classify(&cfg), kind);
+    }
+}
+
+/// Simulation results are bit-identical across repeated runs (full
+/// determinism of the whole stack).
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66);
+        let mut sim = MultiCore::new(&chip);
+        for (i, b) in [4usize, 10, 8].iter().enumerate() {
+            let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+                InstrStream::new(&spec::all()[*b], i as u64, 33),
+                WARMUP,
+                BUDGET,
+            ));
+            sim.pin(t, i % 2, i / 2);
+        }
+        sim.prewarm();
+        sim.run().expect("no deadlock")
+    };
+    assert_eq!(run(), run());
+}
