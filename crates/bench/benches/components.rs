@@ -1,82 +1,94 @@
-//! Criterion microbenchmarks of the simulator's building blocks:
-//! cache lookups, DRAM/bus timing, instruction-stream generation, and
-//! a whole-core cycle loop. These guard the simulator's own
-//! performance (simulation throughput), not the paper's results.
+//! Microbenchmarks of the simulator's building blocks: cache lookups,
+//! DRAM/bus timing, instruction-stream generation, and a whole-core
+//! cycle loop. These guard the simulator's own performance (simulation
+//! throughput), not the paper's results.
+//!
+//! This is a plain `harness = false` benchmark (no external harness
+//! crates, so the workspace builds offline): each case is timed with
+//! `std::time::Instant` over enough iterations to smooth noise, and
+//! reported as ns/op. Run with `cargo bench -p tlpsim-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use tlpsim_mem::{AccessKind, Addr, Cache, CacheConfig, MemoryConfig, MemorySystem};
 use tlpsim_uarch::{ChipConfig, CoreConfig, MultiCore, ThreadProgram};
 use tlpsim_workloads::{spec, InstrStream};
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache_access_hit", |b| {
-        let mut cache = Cache::new(CacheConfig::new(32 * 1024, 4, 3));
-        cache.access(tlpsim_mem::LineAddr(7), false);
-        b.iter(|| black_box(cache.access(tlpsim_mem::LineAddr(7), false)));
+/// Time `iters` runs of `f` (after a small warmup) and print ns/op.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let dt = t0.elapsed();
+    println!(
+        "{name:28} {:>12.1} ns/op   ({iters} iters, {:.3} s)",
+        dt.as_nanos() as f64 / iters as f64,
+        dt.as_secs_f64()
+    );
+}
+
+fn bench_cache() {
+    let mut cache = Cache::new(CacheConfig::new(32 * 1024, 4, 3));
+    cache.access(tlpsim_mem::LineAddr(7), false);
+    bench("cache_access_hit", 2_000_000, || {
+        black_box(cache.access(tlpsim_mem::LineAddr(7), false));
     });
-    c.bench_function("cache_access_stream", |b| {
-        let mut cache = Cache::new(CacheConfig::new(32 * 1024, 4, 3));
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(cache.access(tlpsim_mem::LineAddr(i), false))
-        });
+    let mut cache = Cache::new(CacheConfig::new(32 * 1024, 4, 3));
+    let mut i = 0u64;
+    bench("cache_access_stream", 2_000_000, || {
+        i += 1;
+        black_box(cache.access(tlpsim_mem::LineAddr(i), false));
     });
 }
 
-fn bench_memory_system(c: &mut Criterion) {
-    c.bench_function("memsys_l1_hit", |b| {
-        let mut mem = MemorySystem::new(&MemoryConfig::big_core_chip(1));
-        mem.access(0, AccessKind::Load, Addr(64), 0);
-        let mut now = 1000;
-        b.iter(|| {
-            now += 1;
-            black_box(mem.access(0, AccessKind::Load, Addr(64), now))
-        });
+fn bench_memory_system() {
+    let mut mem = MemorySystem::new(&MemoryConfig::big_core_chip(1));
+    mem.access(0, AccessKind::Load, Addr(64), 0);
+    let mut now = 1000;
+    bench("memsys_l1_hit", 1_000_000, || {
+        now += 1;
+        black_box(mem.access(0, AccessKind::Load, Addr(64), now));
     });
-    c.bench_function("memsys_dram_stream", |b| {
-        let mut mem = MemorySystem::new(&MemoryConfig::big_core_chip(1));
-        let mut a = 0u64;
-        let mut now = 0;
-        b.iter(|| {
-            a += 64;
-            now += 30;
-            black_box(mem.access(0, AccessKind::Load, Addr(0x1000_0000 + a * 97), now))
-        });
+    let mut mem = MemorySystem::new(&MemoryConfig::big_core_chip(1));
+    let mut a = 0u64;
+    let mut now = 0;
+    bench("memsys_dram_stream", 500_000, || {
+        a += 64;
+        now += 30;
+        black_box(mem.access(0, AccessKind::Load, Addr(0x1000_0000 + a * 97), now));
     });
 }
 
-fn bench_generator(c: &mut Criterion) {
-    c.bench_function("instr_stream_next", |b| {
-        let mut s = InstrStream::new(&spec::gcc_like(), 0, 1);
-        b.iter(|| black_box(s.next()));
+fn bench_generator() {
+    let mut s = InstrStream::new(&spec::gcc_like(), 0, 1);
+    bench("instr_stream_next", 2_000_000, || {
+        black_box(s.next());
     });
 }
 
-fn bench_core_cycle(c: &mut Criterion) {
-    c.bench_function("big_core_10k_instrs", |b| {
-        b.iter(|| {
-            let chip = ChipConfig::homogeneous(1, CoreConfig::big(), 2.66);
-            let mut sim = MultiCore::new(&chip);
-            let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
-                InstrStream::new(&spec::hmmer_like(), 0, 1),
-                0,
-                10_000,
-            ));
-            sim.pin(t, 0, 0);
-            sim.prewarm();
-            black_box(sim.run().expect("runs"))
-        });
+fn bench_core_cycle() {
+    bench("big_core_10k_instrs", 50, || {
+        let chip = ChipConfig::homogeneous(1, CoreConfig::big(), 2.66);
+        let mut sim = MultiCore::new(&chip);
+        let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+            InstrStream::new(&spec::hmmer_like(), 0, 1),
+            0,
+            10_000,
+        ));
+        sim.pin(t, 0, 0);
+        sim.prewarm();
+        black_box(sim.run().expect("runs"));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_memory_system,
-    bench_generator,
-    bench_core_cycle
-);
-criterion_main!(benches);
+fn main() {
+    bench_cache();
+    bench_memory_system();
+    bench_generator();
+    bench_core_cycle();
+}

@@ -106,7 +106,7 @@ fn main() {
     println!("\n### Figure 17");
     let (h, x, p16) = fig17_high_bandwidth(&ctx);
     println!("{}\n{}", h.render(), x.render());
-    for (name, vals) in &p16[p16.len() - 1..] {
+    if let Some((name, vals)) = p16.last() {
         println!(
             "parsec avg 16GB/s {name}: {}",
             vals.iter().map(|v| format!("{v:>7.3}")).collect::<String>()

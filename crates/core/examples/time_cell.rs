@@ -11,12 +11,14 @@ fn main() {
         for smt in [true, false] {
             for n in [8usize, 24] {
                 let t0 = Instant::now();
-                let c = ctx.mp_cell(&d, n, WorkloadKind::Heterogeneous, smt);
-                println!(
-                    "{dn} smt={smt} n={n}: {:?} stp={:.2}",
-                    t0.elapsed(),
-                    c.mean_stp()
-                );
+                match ctx.mp_cell(&d, n, WorkloadKind::Heterogeneous, smt) {
+                    Ok(c) => println!(
+                        "{dn} smt={smt} n={n}: {:?} stp={:.2}",
+                        t0.elapsed(),
+                        c.mean_stp()
+                    ),
+                    Err(e) => println!("{dn} smt={smt} n={n}: FAILED ({e})"),
+                }
             }
         }
     }

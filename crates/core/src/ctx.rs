@@ -8,21 +8,35 @@
 //! PARSEC-like application runs so that the many figures built from the
 //! same underlying simulations (Figs. 3, 5-10, 13-15) pay for them
 //! once, and it runs independent simulations on a host thread pool.
+//!
+//! Everything on the simulation path returns [`Result`]: a stalled,
+//! misconfigured or budget-exhausted cell is a [`SimError`] value the
+//! caller can log and skip, never a panic (DESIGN.md §7).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use tlpsim_power::{CoreKind, PowerModel};
 use tlpsim_sched::{assign_threads, ThreadTraits};
-use tlpsim_uarch::{ChipConfig, CoreConfig, MultiCore, ThreadProgram};
+use tlpsim_uarch::{
+    ChipConfig, CoreConfig, Cycle, MultiCore, ThreadProgram, DEFAULT_WATCHDOG_CYCLES,
+};
 use tlpsim_workloads::{mix, parsec, spec, InstrStream, ParsecApp, Segment};
 
 use crate::configs::Design;
+use crate::diskcache::{DiskCache, Record};
+use crate::error::SimError;
 use crate::metrics;
 use crate::SimScale;
+
+pub use crate::executor::par_map;
+
+/// Lock a mutex, recovering from poisoning: a worker that panicked
+/// while holding a cache lock must not take the whole campaign down
+/// (the cache maps only ever hold fully-constructed entries).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Which of the paper's two multi-program workload classes a cell uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -92,12 +106,29 @@ pub struct ParsecOutcome {
 
 /// Cache key for a PARSEC run.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct ParsecKey {
-    design: String,
-    app: usize,
-    n: usize,
-    smt: bool,
-    bus_dgbps: u32,
+pub struct ParsecKey {
+    /// Design name.
+    pub design: String,
+    /// Application index into [`parsec::all`].
+    pub app: usize,
+    /// Thread count.
+    pub n: usize,
+    /// SMT enabled.
+    pub smt: bool,
+    /// Off-chip bandwidth in tenths of GB/s.
+    pub bus_dgbps: u32,
+}
+
+/// Counts of memoized results (diagnostics; also exercised by the
+/// cache-recovery tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Isolated-profile entries.
+    pub iso: usize,
+    /// Multi-program cells.
+    pub cells: usize,
+    /// PARSEC runs.
+    pub parsec: usize,
 }
 
 /// The memoizing experiment context. Cheap to share by reference
@@ -106,10 +137,12 @@ struct ParsecKey {
 pub struct Ctx {
     /// Simulation scale used for every run.
     pub scale: SimScale,
+    /// Watchdog window passed to every engine run.
+    watchdog_cycles: Cycle,
     iso: Mutex<HashMap<(usize, CoreKind), f64>>,
     cells: Mutex<HashMap<CellKey, Arc<Cell>>>,
     parsec_runs: Mutex<HashMap<ParsecKey, Arc<ParsecOutcome>>>,
-    disk: Option<Mutex<std::fs::File>>,
+    disk: Option<DiskCache>,
 }
 
 impl Ctx {
@@ -117,6 +150,7 @@ impl Ctx {
     pub fn new(scale: SimScale) -> Self {
         Ctx {
             scale,
+            watchdog_cycles: DEFAULT_WATCHDOG_CYCLES,
             iso: Mutex::new(HashMap::new()),
             cells: Mutex::new(HashMap::new()),
             parsec_runs: Mutex::new(HashMap::new()),
@@ -126,124 +160,87 @@ impl Ctx {
 
     /// Create a context backed by an append-only result cache on disk,
     /// so separate processes (e.g. the per-figure bench targets) share
-    /// simulation work. The file is only reused when its header matches
-    /// `scale`; on mismatch it is truncated.
+    /// simulation work. The file is only reused when its versioned
+    /// header matches `scale`; on mismatch it is truncated. Corrupt or
+    /// torn tails are truncated away and replay continues; records with
+    /// malformed keys are rejected. I/O failure degrades to an
+    /// in-memory context (with a note on stderr), never an abort.
     pub fn with_disk_cache<P: AsRef<std::path::Path>>(scale: SimScale, path: P) -> Self {
         let mut ctx = Self::new(scale);
         let path = path.as_ref();
-        let header = format!(
-            "SCALE {} {} {} {}",
-            scale.warmup, scale.budget, scale.parsec_phase, scale.seed
-        );
-        let mut valid = false;
-        if let Ok(text) = std::fs::read_to_string(path) {
-            let mut lines = text.lines();
-            if lines.next() == Some(header.as_str()) {
-                valid = true;
-                for line in lines {
-                    ctx.load_record(line);
+        match DiskCache::open(scale, path) {
+            Ok((disk, records, report)) => {
+                for rec in records {
+                    ctx.apply_record(rec);
                 }
+                if report.rejected > 0 {
+                    eprintln!(
+                        "tlpsim: cache {}: rejected {} malformed record(s)",
+                        path.display(),
+                        report.rejected
+                    );
+                }
+                if let Some(at) = report.truncated_at {
+                    eprintln!(
+                        "tlpsim: cache {}: corrupt tail truncated at byte {at}; {} record(s) recovered",
+                        path.display(),
+                        report.replayed
+                    );
+                }
+                ctx.disk = Some(disk);
             }
-        }
-        if let Some(dir) = path.parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(valid)
-            .write(true)
-            .truncate(!valid)
-            .open(path);
-        if let Ok(mut f) = file {
-            use std::io::Write;
-            if !valid {
-                let _ = writeln!(f, "{header}");
+            Err(e) => {
+                eprintln!(
+                    "tlpsim: cache {} unavailable ({e}); continuing without disk cache",
+                    path.display()
+                );
             }
-            ctx.disk = Some(Mutex::new(f));
         }
         ctx
     }
 
-    fn load_record(&mut self, line: &str) {
-        let mut it = line.split_whitespace();
-        match it.next() {
-            Some("ISO") => {
-                let (Some(b), Some(k), Some(v)) = (it.next(), it.next(), it.next()) else {
-                    return;
-                };
-                let kind = match k {
-                    "B" => CoreKind::Big,
-                    "M" => CoreKind::Medium,
-                    _ => CoreKind::Small,
-                };
-                if let (Ok(b), Ok(v)) = (b.parse(), v.parse()) {
-                    self.iso.get_mut().insert((b, kind), v);
-                }
+    /// Override the engine watchdog window (cycles without a commit
+    /// before a run aborts as [`SimError::Stalled`]).
+    pub fn with_watchdog(mut self, cycles: Cycle) -> Self {
+        self.watchdog_cycles = cycles.max(1);
+        self
+    }
+
+    /// Install one replayed cache record.
+    fn apply_record(&mut self, rec: Record) {
+        match rec {
+            Record::Iso { bench, kind, ipc } => {
+                lock(&self.iso).insert((bench, kind), ipc);
             }
-            Some("CELL") => {
-                let (Some(d), Some(n), Some(k), Some(smt), Some(bus)) =
-                    (it.next(), it.next(), it.next(), it.next(), it.next())
-                else {
-                    return;
-                };
-                let vals: Vec<f64> = it.filter_map(|x| x.parse().ok()).collect();
-                if vals.len() != 36 {
-                    return;
-                }
-                let key = CellKey {
-                    design: d.to_string(),
-                    n: n.parse().unwrap_or(0),
-                    kind: if k == "H" {
-                        WorkloadKind::Homogeneous
-                    } else {
-                        WorkloadKind::Heterogeneous
-                    },
-                    smt: smt == "1",
-                    bus_dgbps: bus.parse().unwrap_or(80),
-                };
-                let cell = Cell {
-                    stp: vals[0..12].to_vec(),
-                    antt: vals[12..24].to_vec(),
-                    power_w: vals[24..36].to_vec(),
-                };
-                self.cells.get_mut().insert(key, Arc::new(cell));
+            Record::Cell { key, cell } => {
+                lock(&self.cells).insert(key, Arc::new(cell));
             }
-            Some("PARSEC") => {
-                let (Some(d), Some(a), Some(n), Some(smt), Some(bus), Some(roi), Some(total)) = (
-                    it.next(),
-                    it.next(),
-                    it.next(),
-                    it.next(),
-                    it.next(),
-                    it.next(),
-                    it.next(),
-                ) else {
-                    return;
-                };
-                let hist: Vec<u64> = it.filter_map(|x| x.parse().ok()).collect();
-                let key = ParsecKey {
-                    design: d.to_string(),
-                    app: a.parse().unwrap_or(0),
-                    n: n.parse().unwrap_or(0),
-                    smt: smt == "1",
-                    bus_dgbps: bus.parse().unwrap_or(80),
-                };
-                let out = ParsecOutcome {
-                    roi_cycles: roi.parse().unwrap_or(0),
-                    total_cycles: total.parse().unwrap_or(0),
-                    histogram: hist,
-                };
-                self.parsec_runs.get_mut().insert(key, Arc::new(out));
+            Record::Parsec { key, out } => {
+                lock(&self.parsec_runs).insert(key, Arc::new(out));
             }
-            _ => {}
         }
     }
 
-    fn persist(&self, line: String) {
-        if let Some(f) = &self.disk {
-            use std::io::Write;
-            let _ = writeln!(f.lock(), "{line}");
+    fn persist(&self, rec: &Record) {
+        if let Some(disk) = &self.disk {
+            disk.append(rec);
         }
+    }
+
+    /// How many results are memoized right now.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            iso: lock(&self.iso).len(),
+            cells: lock(&self.cells).len(),
+            parsec: lock(&self.parsec_runs).len(),
+        }
+    }
+
+    /// Build and configure an engine instance.
+    fn new_sim(&self, chip: &ChipConfig) -> MultiCore {
+        let mut sim = MultiCore::new(chip);
+        sim.set_watchdog(self.watchdog_cycles);
+        sim
     }
 
     // ---------- isolated profiling (the paper's offline analysis) ----------
@@ -251,18 +248,28 @@ impl Ctx {
     /// IPC of benchmark `bench` running alone on one core of `kind`
     /// (memoized). This is the paper's offline isolated profiling, used
     /// both for scheduling and for STP/ANTT normalization.
-    pub fn iso_ipc(&self, bench: usize, kind: CoreKind) -> f64 {
-        if let Some(&v) = self.iso.lock().get(&(bench, kind)) {
-            return v;
+    ///
+    /// # Errors
+    /// [`SimError::InvalidConfig`] for an out-of-range benchmark index
+    /// or a zero-IPC profile; engine failures are passed through.
+    pub fn iso_ipc(&self, bench: usize, kind: CoreKind) -> Result<f64, SimError> {
+        if let Some(&v) = lock(&self.iso).get(&(bench, kind)) {
+            return Ok(v);
         }
+        let profiles = spec::all();
+        let Some(profile) = profiles.get(bench) else {
+            return Err(SimError::InvalidConfig(format!(
+                "benchmark index {bench} out of range (have {})",
+                profiles.len()
+            )));
+        };
         let core = match kind {
             CoreKind::Big => CoreConfig::big(),
             CoreKind::Medium => CoreConfig::medium(),
             CoreKind::Small => CoreConfig::small(),
         };
         let chip = ChipConfig::homogeneous(1, core, 2.66);
-        let profile = &spec::all()[bench];
-        let mut sim = MultiCore::new(&chip);
+        let mut sim = self.new_sim(&chip);
         let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
             InstrStream::new(profile, 0, self.scale.seed),
             self.scale.warmup,
@@ -270,36 +277,60 @@ impl Ctx {
         ));
         sim.pin(t, 0, 0);
         sim.prewarm();
-        let run = sim.run().expect("isolated run cannot deadlock");
+        let run = sim.run()?;
         let ipc = run.threads[0].ipc(self.scale.budget);
-        assert!(ipc > 0.0, "benchmark {bench} produced zero IPC");
-        self.iso.lock().insert((bench, kind), ipc);
-        let k = match kind {
-            CoreKind::Big => "B",
-            CoreKind::Medium => "M",
-            CoreKind::Small => "S",
-        };
-        self.persist(format!("ISO {bench} {k} {ipc}"));
-        ipc
+        if !ipc.is_finite() || ipc <= 0.0 {
+            return Err(SimError::InvalidConfig(format!(
+                "benchmark {bench} produced zero IPC on {kind:?}"
+            )));
+        }
+        lock(&self.iso).insert((bench, kind), ipc);
+        self.persist(&Record::Iso { bench, kind, ipc });
+        Ok(ipc)
     }
 
     /// Scheduling traits of a benchmark (offline-analysis products).
-    pub fn traits_of(&self, bench: usize) -> ThreadTraits {
-        ThreadTraits {
-            big_core_benefit: self.iso_ipc(bench, CoreKind::Big)
-                / self.iso_ipc(bench, CoreKind::Small),
-            memory_intensity: spec::all()[bench].memory_intensity(),
-        }
+    ///
+    /// # Errors
+    /// Propagates [`iso_ipc`](Self::iso_ipc) failures.
+    pub fn traits_of(&self, bench: usize) -> Result<ThreadTraits, SimError> {
+        let profiles = spec::all();
+        let Some(profile) = profiles.get(bench) else {
+            return Err(SimError::InvalidConfig(format!(
+                "benchmark index {bench} out of range (have {})",
+                profiles.len()
+            )));
+        };
+        Ok(ThreadTraits {
+            big_core_benefit: self.iso_ipc(bench, CoreKind::Big)?
+                / self.iso_ipc(bench, CoreKind::Small)?,
+            memory_intensity: profile.memory_intensity(),
+        })
     }
 
     // ---------- multi-program cells ----------
 
     /// Simulate (or fetch) the cell for `design` at `n` threads.
-    pub fn mp_cell(&self, design: &Design, n: usize, kind: WorkloadKind, smt: bool) -> Arc<Cell> {
+    ///
+    /// # Errors
+    /// See [`mp_cell_bus`](Self::mp_cell_bus).
+    pub fn mp_cell(
+        &self,
+        design: &Design,
+        n: usize,
+        kind: WorkloadKind,
+        smt: bool,
+    ) -> Result<Arc<Cell>, SimError> {
         self.mp_cell_bus(design, n, kind, smt, 8.0)
     }
 
     /// [`mp_cell`](Self::mp_cell) with explicit bus bandwidth (GB/s).
+    ///
+    /// # Errors
+    /// [`SimError::InvalidConfig`] for a zero thread count or bogus
+    /// bandwidth; stalls and budget exhaustion from any of the 12
+    /// workload simulations are passed through (the cell is all-or-
+    /// nothing — partial cells are never cached).
     pub fn mp_cell_bus(
         &self,
         design: &Design,
@@ -307,7 +338,17 @@ impl Ctx {
         kind: WorkloadKind,
         smt: bool,
         bus_gbps: f64,
-    ) -> Arc<Cell> {
+    ) -> Result<Arc<Cell>, SimError> {
+        if n == 0 {
+            return Err(SimError::InvalidConfig(
+                "cannot simulate a 0-thread cell".into(),
+            ));
+        }
+        if !bus_gbps.is_finite() || bus_gbps <= 0.0 {
+            return Err(SimError::InvalidConfig(format!(
+                "non-positive bus bandwidth {bus_gbps}"
+            )));
+        }
         let key = CellKey {
             design: design.name.clone(),
             n,
@@ -315,8 +356,8 @@ impl Ctx {
             smt,
             bus_dgbps: (bus_gbps * 10.0) as u32,
         };
-        if let Some(c) = self.cells.lock().get(&key) {
-            return Arc::clone(c);
+        if let Some(c) = lock(&self.cells).get(&key) {
+            return Ok(Arc::clone(c));
         }
         let mixes: Vec<Vec<usize>> = match kind {
             WorkloadKind::Homogeneous => (0..12).map(|b| mix::homogeneous_mix(b, n)).collect(),
@@ -326,7 +367,7 @@ impl Ctx {
         let mut antt = Vec::with_capacity(12);
         let mut power = Vec::with_capacity(12);
         for (w, m) in mixes.iter().enumerate() {
-            let (s, a, p) = self.run_mix(design, m, smt, bus_gbps, w as u64);
+            let (s, a, p) = self.run_mix(design, m, smt, bus_gbps, w as u64)?;
             stp.push(s);
             antt.push(a);
             power.push(p);
@@ -336,29 +377,12 @@ impl Ctx {
             antt,
             power_w: power,
         });
-        let nums = |v: &[f64]| {
-            v.iter()
-                .map(|x| format!("{x}"))
-                .collect::<Vec<_>>()
-                .join(" ")
-        };
-        self.persist(format!(
-            "CELL {} {} {} {} {} {} {} {}",
-            key.design,
-            key.n,
-            if key.kind == WorkloadKind::Homogeneous {
-                "H"
-            } else {
-                "X"
-            },
-            u8::from(key.smt),
-            key.bus_dgbps,
-            nums(&cell.stp),
-            nums(&cell.antt),
-            nums(&cell.power_w),
-        ));
-        self.cells.lock().insert(key, Arc::clone(&cell));
-        cell
+        self.persist(&Record::Cell {
+            key: key.clone(),
+            cell: (*cell).clone(),
+        });
+        lock(&self.cells).insert(key, Arc::clone(&cell));
+        Ok(cell)
     }
 
     /// Simulate one multi-program mix; returns `(stp, antt, power_w)`.
@@ -369,13 +393,16 @@ impl Ctx {
         smt: bool,
         bus_gbps: f64,
         wl_seed: u64,
-    ) -> (f64, f64, f64) {
+    ) -> Result<(f64, f64, f64), SimError> {
         let chip = design.chip(smt, bus_gbps);
-        let traits: Vec<ThreadTraits> = mixv.iter().map(|&b| self.traits_of(b)).collect();
+        let traits: Vec<ThreadTraits> = mixv
+            .iter()
+            .map(|&b| self.traits_of(b))
+            .collect::<Result<_, _>>()?;
         let placements = assign_threads(&chip, &traits, smt);
         let profiles = spec::all();
 
-        let mut sim = MultiCore::new(&chip);
+        let mut sim = self.new_sim(&chip);
         for (i, &b) in mixv.iter().enumerate() {
             let stream = InstrStream::new(
                 &profiles[b],
@@ -390,30 +417,27 @@ impl Ctx {
             sim.pin(t, placements[i].core, placements[i].slot);
         }
         sim.prewarm();
-        let run = sim.run().unwrap_or_else(|e| {
-            panic!(
-                "mix {mixv:?} on {} (smt={smt}, n={}) failed: {e}",
-                design.name,
-                mixv.len()
-            )
-        });
-        let pairs: Vec<(f64, f64)> = run
-            .threads
-            .iter()
-            .zip(mixv)
-            .map(|(t, &b)| (t.ipc(self.scale.budget), self.iso_ipc(b, CoreKind::Big)))
-            .collect();
+        let run = sim.run()?;
+        let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(mixv.len());
+        for (t, &b) in run.threads.iter().zip(mixv) {
+            pairs.push((t.ipc(self.scale.budget), self.iso_ipc(b, CoreKind::Big)?));
+        }
         let report = PowerModel::with_power_gating().report(&chip, &run);
-        (
+        Ok((
             metrics::stp(&pairs),
             metrics::antt(&pairs),
             report.avg_power_w,
-        )
+        ))
     }
 
     // ---------- PARSEC-like applications ----------
 
     /// Simulate (or fetch) one PARSEC-like application run.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidConfig`] for an unknown app index, a zero
+    /// thread count, or an app without barriers; engine stalls and
+    /// budget exhaustion are passed through.
     pub fn parsec_run(
         &self,
         design: &Design,
@@ -421,7 +445,12 @@ impl Ctx {
         n_threads: usize,
         smt: bool,
         bus_gbps: f64,
-    ) -> Arc<ParsecOutcome> {
+    ) -> Result<Arc<ParsecOutcome>, SimError> {
+        if n_threads == 0 {
+            return Err(SimError::InvalidConfig(
+                "cannot run an app with 0 threads".into(),
+            ));
+        }
         let key = ParsecKey {
             design: design.name.clone(),
             app: app_idx,
@@ -429,31 +458,24 @@ impl Ctx {
             smt,
             bus_dgbps: (bus_gbps * 10.0) as u32,
         };
-        if let Some(r) = self.parsec_runs.lock().get(&key) {
-            return Arc::clone(r);
+        if let Some(r) = lock(&self.parsec_runs).get(&key) {
+            return Ok(Arc::clone(r));
         }
         let apps = parsec::all();
-        let outcome = self.run_parsec_app(design, &apps[app_idx], n_threads, smt, bus_gbps);
-        let hist = outcome
-            .histogram
-            .iter()
-            .map(|x| x.to_string())
-            .collect::<Vec<_>>()
-            .join(" ");
-        self.persist(format!(
-            "PARSEC {} {} {} {} {} {} {} {}",
-            key.design,
-            key.app,
-            key.n,
-            u8::from(key.smt),
-            key.bus_dgbps,
-            outcome.roi_cycles,
-            outcome.total_cycles,
-            hist,
-        ));
+        let Some(app) = apps.get(app_idx) else {
+            return Err(SimError::InvalidConfig(format!(
+                "app index {app_idx} out of range (have {})",
+                apps.len()
+            )));
+        };
+        let outcome = self.run_parsec_app(design, app, n_threads, smt, bus_gbps)?;
+        self.persist(&Record::Parsec {
+            key: key.clone(),
+            out: outcome.clone(),
+        });
         let arc = Arc::new(outcome);
-        self.parsec_runs.lock().insert(key, Arc::clone(&arc));
-        arc
+        lock(&self.parsec_runs).insert(key, Arc::clone(&arc));
+        Ok(arc)
     }
 
     fn run_parsec_app(
@@ -463,7 +485,7 @@ impl Ctx {
         n_threads: usize,
         smt: bool,
         bus_gbps: f64,
-    ) -> ParsecOutcome {
+    ) -> Result<ParsecOutcome, SimError> {
         let chip = design.chip(smt, bus_gbps);
         let w = app.instantiate(n_threads, self.scale.parsec_phase, self.scale.seed);
         // Pinned scheduling (Section 5): equal traits keep thread 0 on
@@ -476,7 +498,7 @@ impl Ctx {
             n_threads
         ];
         let placements = assign_threads(&chip, &traits, smt);
-        let max_barrier = w
+        let Some(max_barrier) = w
             .threads
             .iter()
             .flatten()
@@ -485,10 +507,15 @@ impl Ctx {
                 _ => None,
             })
             .max()
-            .expect("apps always have barriers");
+        else {
+            return Err(SimError::InvalidConfig(format!(
+                "app {} instantiated without barriers",
+                app.name
+            )));
+        };
 
         let shared_base = 0x7000_0000_0000u64;
-        let mut sim = MultiCore::new(&chip);
+        let mut sim = self.new_sim(&chip);
         for (i, segs) in w.threads.iter().enumerate() {
             let stream = InstrStream::new(&w.profile, i as u64, self.scale.seed ^ 0xA44_5EED)
                 .with_shared_region(shared_base, w.shared_bytes, w.shared_frac);
@@ -497,49 +524,13 @@ impl Ctx {
         }
         sim.set_roi_barriers(0, max_barrier);
         sim.prewarm();
-        let run = sim.run().unwrap_or_else(|e| {
-            panic!(
-                "app {} x{} on {} (smt={smt}) failed: {e}",
-                app.name, n_threads, design.name
-            )
-        });
-        ParsecOutcome {
+        let run = sim.run()?;
+        Ok(ParsecOutcome {
             roi_cycles: run.active_histogram.iter().sum(),
             total_cycles: run.cycles,
             histogram: run.active_histogram,
-        }
+        })
     }
-}
-
-/// Run `f` over `items` on a host thread pool, preserving order.
-///
-/// This is the sweep executor used by the experiment drivers: each
-/// item is typically one design-space cell (internally ~12 simulated
-/// chips).
-pub fn par_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) -> Vec<R> {
-    let n_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
-    crossbeam::thread::scope(|s| {
-        for _ in 0..n_workers {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                *results[i].lock() = Some(r);
-            });
-        }
-    })
-    .expect("worker panicked");
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("all items processed"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -554,8 +545,9 @@ mod tests {
     #[test]
     fn par_map_preserves_order() {
         let items: Vec<u64> = (0..100).collect();
-        let out = par_map(&items, |&x| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        let out = par_map(&items, |&x| Ok(x * 2));
+        let vals: Vec<u64> = out.into_iter().map(|r| r.expect("no failures")).collect();
+        assert_eq!(vals, (0..100).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
@@ -563,14 +555,14 @@ mod tests {
         let ctx = quick_ctx();
         let hmmer = 0; // index of hmmer_like
         let mcf = 9; // index of mcf_like
-        let big = ctx.iso_ipc(hmmer, CoreKind::Big);
-        let small = ctx.iso_ipc(hmmer, CoreKind::Small);
+        let big = ctx.iso_ipc(hmmer, CoreKind::Big).expect("runs");
+        let small = ctx.iso_ipc(hmmer, CoreKind::Small).expect("runs");
         assert!(big > small, "hmmer: big {big} <= small {small}");
         // Memoization: identical on second call.
-        assert_eq!(ctx.iso_ipc(hmmer, CoreKind::Big), big);
+        assert_eq!(ctx.iso_ipc(hmmer, CoreKind::Big).expect("cached"), big);
         // mcf benefits less from the big core than hmmer.
-        let t_h = ctx.traits_of(hmmer);
-        let t_m = ctx.traits_of(mcf);
+        let t_h = ctx.traits_of(hmmer).expect("runs");
+        let t_m = ctx.traits_of(mcf).expect("runs");
         assert!(t_h.big_core_benefit > t_m.big_core_benefit);
         assert!(t_m.memory_intensity > t_h.memory_intensity);
     }
@@ -579,7 +571,9 @@ mod tests {
     fn cell_runs_and_caches() {
         let ctx = quick_ctx();
         let d = configs::by_name("4B").unwrap();
-        let c = ctx.mp_cell(&d, 2, WorkloadKind::Homogeneous, true);
+        let c = ctx
+            .mp_cell(&d, 2, WorkloadKind::Homogeneous, true)
+            .expect("cell simulates");
         assert_eq!(c.stp.len(), 12);
         assert!(c.mean_stp() > 0.5, "2-thread 4B STP {}", c.mean_stp());
         assert!(c.mean_antt() >= 1.0, "ANTT below 1: {}", c.mean_antt());
@@ -588,8 +582,37 @@ mod tests {
             "power below uncore: {}",
             c.mean_power()
         );
-        let again = ctx.mp_cell(&d, 2, WorkloadKind::Homogeneous, true);
+        let again = ctx
+            .mp_cell(&d, 2, WorkloadKind::Homogeneous, true)
+            .expect("cached");
         assert!(Arc::ptr_eq(&c, &again), "cell must be cached");
+        assert_eq!(ctx.cache_stats().cells, 1);
+    }
+
+    #[test]
+    fn invalid_cells_are_typed_errors_not_panics() {
+        let ctx = quick_ctx();
+        let d = configs::by_name("4B").unwrap();
+        assert!(matches!(
+            ctx.mp_cell(&d, 0, WorkloadKind::Homogeneous, true),
+            Err(SimError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ctx.mp_cell_bus(&d, 2, WorkloadKind::Homogeneous, true, 0.0),
+            Err(SimError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ctx.parsec_run(&d, 9999, 4, true, 8.0),
+            Err(SimError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ctx.parsec_run(&d, 0, 0, true, 8.0),
+            Err(SimError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ctx.iso_ipc(9999, CoreKind::Big),
+            Err(SimError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -598,9 +621,11 @@ mod tests {
         let d = configs::by_name("4B").unwrap();
         let s1 = ctx
             .mp_cell(&d, 1, WorkloadKind::Heterogeneous, true)
+            .expect("runs")
             .mean_stp();
         let s4 = ctx
             .mp_cell(&d, 4, WorkloadKind::Heterogeneous, true)
+            .expect("runs")
             .mean_stp();
         assert!(s4 > s1 * 1.5, "STP: 1thr {s1} vs 4thr {s4}");
     }
@@ -609,10 +634,10 @@ mod tests {
     fn parsec_outcome_sane() {
         let ctx = quick_ctx();
         let d = configs::by_name("4B").unwrap();
-        let r = ctx.parsec_run(&d, 0, 4, true, 8.0);
+        let r = ctx.parsec_run(&d, 0, 4, true, 8.0).expect("runs");
         assert!(r.roi_cycles > 0);
         assert!(r.total_cycles >= r.roi_cycles);
-        let again = ctx.parsec_run(&d, 0, 4, true, 8.0);
+        let again = ctx.parsec_run(&d, 0, 4, true, 8.0).expect("cached");
         assert!(Arc::ptr_eq(&r, &again));
     }
 }

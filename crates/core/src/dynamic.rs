@@ -9,21 +9,41 @@
 
 use crate::configs::nine_designs;
 use crate::ctx::{Ctx, WorkloadKind};
+use crate::error::SimError;
 use crate::metrics;
 
 /// STP of the ideal dynamic multi-core at `n` threads: for each of the
 /// 12 workloads, the best of the nine designs (then harmonic-mean
-/// across workloads, like any other design point).
-pub fn dynamic_stp(ctx: &Ctx, n: usize, kind: WorkloadKind, smt: bool) -> f64 {
+/// across workloads, like any other design point). A design whose cell
+/// fails is logged and excluded from the oracle — the ideal chip simply
+/// never morphs into a configuration that cannot run the workload.
+///
+/// # Errors
+/// Returns the last per-design error only if *every* design failed.
+pub fn dynamic_stp(ctx: &Ctx, n: usize, kind: WorkloadKind, smt: bool) -> Result<f64, SimError> {
     let designs = nine_designs();
-    let cells: Vec<_> = designs
-        .iter()
-        .map(|d| ctx.mp_cell(d, n, kind, smt))
-        .collect();
+    let mut cells = Vec::with_capacity(designs.len());
+    let mut last_err = None;
+    for d in &designs {
+        match ctx.mp_cell(d, n, kind, smt) {
+            Ok(c) => cells.push(c),
+            Err(e) => {
+                eprintln!(
+                    "tlpsim: dynamic oracle: {} at n={n} failed ({e}); excluded",
+                    d.name
+                );
+                last_err = Some(e);
+            }
+        }
+    }
+    if cells.is_empty() {
+        return Err(last_err
+            .unwrap_or_else(|| SimError::InvalidConfig("dynamic oracle has no designs".into())));
+    }
     let per_workload: Vec<f64> = (0..12)
         .map(|w| cells.iter().map(|c| c.stp[w]).fold(f64::MIN, f64::max))
         .collect();
-    metrics::harmonic_mean(&per_workload)
+    Ok(metrics::harmonic_mean(&per_workload))
 }
 
 #[cfg(test)]
@@ -36,10 +56,11 @@ mod tests {
     fn dynamic_dominates_every_static_design() {
         let ctx = Ctx::new(SimScale::quick());
         let n = 3;
-        let dyn_stp = dynamic_stp(&ctx, n, WorkloadKind::Homogeneous, true);
+        let dyn_stp = dynamic_stp(&ctx, n, WorkloadKind::Homogeneous, true).expect("oracle runs");
         for d in configs::nine_designs() {
             let s = ctx
                 .mp_cell(&d, n, WorkloadKind::Homogeneous, true)
+                .expect("cell simulates")
                 .mean_stp();
             assert!(
                 dyn_stp >= s - 1e-9,

@@ -1,0 +1,108 @@
+//! The typed error model of the resilience layer (DESIGN.md §7).
+//!
+//! Every failure on the simulation path — engine stalls, invalid cell
+//! parameters, exhausted cycle budgets, corrupted cache records, and
+//! panicking sweep workers — is a [`SimError`] value, so a 5,000-cell
+//! campaign can log, skip and resume instead of aborting the process.
+
+use tlpsim_uarch::{RunError, StallSnapshot};
+
+/// Why a simulation (or one cell of a sweep) failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The engine's watchdog saw no commit for its whole window; the
+    /// snapshot records per-context ROB occupancy, pending memory
+    /// operations and barrier/lock grant state at that moment.
+    Stalled {
+        /// Cycle at which the stall was declared.
+        cycle: u64,
+        /// Chip state at the moment of the stall.
+        snapshot: Box<StallSnapshot>,
+    },
+    /// A cell was requested with parameters that cannot be simulated
+    /// (zero threads, unknown design, a benchmark with zero IPC, ...).
+    InvalidConfig(String),
+    /// The engine exceeded its cycle budget before every thread
+    /// finished.
+    BudgetExhausted {
+        /// The cycle limit that was hit.
+        limit: u64,
+    },
+    /// A thread was registered but never pinned to a hardware context.
+    UnassignedThread(usize),
+    /// A disk-cache record failed its length/checksum/format checks.
+    CacheCorrupt {
+        /// Byte offset (or line number when offsets are unknown) of the
+        /// bad record.
+        offset: u64,
+        /// What exactly was wrong.
+        reason: String,
+    },
+    /// A sweep worker panicked while evaluating one item, twice (the
+    /// executor retries each item once before giving up on it).
+    WorkerPanicked {
+        /// Index of the item in the sweep.
+        item: usize,
+        /// The panic payload, if it was a string.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // The snapshot's own Display already leads with the cycle.
+            SimError::Stalled { snapshot, .. } => write!(f, "simulation {snapshot}"),
+            SimError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            SimError::BudgetExhausted { limit } => {
+                write!(f, "cycle budget of {limit} exhausted before completion")
+            }
+            SimError::UnassignedThread(t) => write!(f, "thread {t} was never pinned"),
+            SimError::CacheCorrupt { offset, reason } => {
+                write!(f, "cache record at byte {offset} is corrupt: {reason}")
+            }
+            SimError::WorkerPanicked { item, detail } => {
+                write!(f, "sweep worker panicked on item {item} (twice): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<RunError> for SimError {
+    fn from(e: RunError) -> Self {
+        match e {
+            RunError::Stalled { cycle, snapshot } => SimError::Stalled { cycle, snapshot },
+            RunError::CycleLimit { limit } => SimError::BudgetExhausted { limit },
+            RunError::UnassignedThread(t) => SimError::UnassignedThread(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_error_conversion_preserves_kind() {
+        assert_eq!(
+            SimError::from(RunError::CycleLimit { limit: 7 }),
+            SimError::BudgetExhausted { limit: 7 }
+        );
+        assert_eq!(
+            SimError::from(RunError::UnassignedThread(3)),
+            SimError::UnassignedThread(3)
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::CacheCorrupt {
+            offset: 120,
+            reason: "bad checksum".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("120") && s.contains("bad checksum"));
+    }
+}

@@ -1,0 +1,169 @@
+//! The panic-isolated sweep executor (DESIGN.md §7).
+//!
+//! Experiment drivers fan thousands of independent cells out over a
+//! host thread pool. One poisoned cell must cost exactly that cell:
+//! every item runs under `catch_unwind`, a panicking item is retried
+//! once (transient host conditions), and a second panic becomes an
+//! `Err(SimError::WorkerPanicked)` entry in the result vector — the
+//! other items' results survive, so a 12-workload figure degrades to
+//! 11/12 instead of killing the bench binary.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::error::SimError;
+
+/// Render a panic payload for diagnostics.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f` over `items` on a host thread pool, preserving order.
+///
+/// This is the sweep executor used by the experiment drivers: each
+/// item is typically one design-space cell (internally ~12 simulated
+/// chips). Failure containment:
+///
+/// * `f` returning `Err` surfaces that error at the item's position;
+/// * `f` panicking is caught, retried once, and on a second panic
+///   surfaced as [`SimError::WorkerPanicked`] — the worker thread and
+///   every other item keep going.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, SimError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> Result<R, SimError> + Sync,
+{
+    let n_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Result<R, SimError>>>> =
+        (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let run_one = |i: usize| -> Result<R, SimError> {
+        let mut last_panic = String::new();
+        for _attempt in 0..2 {
+            // AssertUnwindSafe: on panic the item's partial state is
+            // discarded entirely — only its Err entry escapes.
+            match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                Ok(r) => return r,
+                Err(p) => last_panic = panic_detail(p.as_ref()),
+            }
+        }
+        Err(SimError::WorkerPanicked {
+            item: i,
+            detail: last_panic,
+        })
+    };
+    std::thread::scope(|s| {
+        for _ in 0..n_workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = run_one(i);
+                *results[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    Err(SimError::WorkerPanicked {
+                        item: usize::MAX,
+                        detail: "item was never processed".into(),
+                    })
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, |&x| Ok(x * 2));
+        let vals: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(vals, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_panicking_item_degrades_not_kills() {
+        let items: Vec<u64> = (0..12).collect();
+        let out = par_map(&items, |&x| {
+            if x == 7 {
+                panic!("cell {x} is poisoned");
+            }
+            Ok(x)
+        });
+        assert_eq!(out.len(), 12);
+        for (i, r) in out.iter().enumerate() {
+            if i == 7 {
+                match r {
+                    Err(SimError::WorkerPanicked { item, detail }) => {
+                        assert_eq!(*item, 7);
+                        assert!(detail.contains("poisoned"));
+                    }
+                    other => panic!("expected WorkerPanicked, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn transient_panic_is_retried_once() {
+        let fails = AtomicU32::new(0);
+        let items = [0u32];
+        let out = par_map(&items, |_| {
+            if fails.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient");
+            }
+            Ok(99u32)
+        });
+        assert_eq!(out[0].as_ref().unwrap(), &99);
+        assert_eq!(fails.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn err_results_pass_through_without_retry() {
+        let calls = AtomicU32::new(0);
+        let items = [0u32];
+        let out = par_map(&items, |_| -> Result<(), SimError> {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(SimError::InvalidConfig("nope".into()))
+        });
+        assert!(matches!(out[0], Err(SimError::InvalidConfig(_))));
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "Err is not a panic; no retry"
+        );
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let items: Vec<u8> = Vec::new();
+        let out = par_map(&items, |&x| Ok(x));
+        assert!(out.is_empty());
+    }
+}

@@ -5,12 +5,20 @@
 //! the same rows the paper plots. The underlying simulations are
 //! memoized in the [`Ctx`], and each driver prefetches its cells on a
 //! host thread pool before aggregating.
+//!
+//! Fault tolerance: a cell that fails (stall, bad config, panicking
+//! worker) is logged to stderr and *skipped* — a figure degrades to
+//! the cells that simulated instead of aborting the process
+//! (DESIGN.md §7). Missing values render as `NaN`.
+
+use std::sync::Arc;
 
 use tlpsim_workloads::{parsec, spec, ThreadCountDistribution};
 
 use crate::configs::{alt_designs, by_name, nine_designs, Design};
-use crate::ctx::{par_map, Ctx, WorkloadKind};
+use crate::ctx::{par_map, Cell, Ctx, WorkloadKind};
 use crate::dynamic::dynamic_stp;
+use crate::error::SimError;
 use crate::SWEEP_COUNTS;
 
 /// A labeled curve of `(thread count, value)` points.
@@ -24,11 +32,14 @@ pub struct Series {
 
 impl Series {
     /// Piecewise-linear interpolation at thread count `n` (clamped to
-    /// the sampled range).
+    /// the sampled range). An empty series interpolates to `NaN`.
     pub fn interp(&self, n: usize) -> f64 {
         let pts = &self.points;
-        if n <= pts[0].0 {
-            return pts[0].1;
+        let (Some(first), Some(last)) = (pts.first(), pts.last()) else {
+            return f64::NAN;
+        };
+        if n <= first.0 {
+            return first.1;
         }
         for w in pts.windows(2) {
             let ((x0, y0), (x1, y1)) = (w[0], w[1]);
@@ -37,7 +48,7 @@ impl Series {
                 return y0 + f * (y1 - y0);
             }
         }
-        pts.last().expect("non-empty series").1
+        last.1
     }
 
     /// Time-weighted average under a thread-count distribution
@@ -58,7 +69,8 @@ pub struct Figure {
 
 impl Figure {
     /// Render an aligned text table: one row per thread count, one
-    /// column per series.
+    /// column per series. Series may have holes (skipped cells); a
+    /// missing sample prints as `-`.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", self.title));
@@ -67,14 +79,22 @@ impl Figure {
             out.push_str(&format!(" {:>8}", s.label));
         }
         out.push('\n');
-        if let Some(first) = self.series.first() {
-            for (i, &(n, _)) in first.points.iter().enumerate() {
-                out.push_str(&format!("{n:>7}"));
-                for s in &self.series {
-                    out.push_str(&format!(" {:>8.3}", s.points[i].1));
+        let mut xs: Vec<usize> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(n, _)| n))
+            .collect();
+        xs.sort_unstable();
+        xs.dedup();
+        for n in xs {
+            out.push_str(&format!("{n:>7}"));
+            for s in &self.series {
+                match s.points.iter().find(|&&(x, _)| x == n) {
+                    Some(&(_, v)) => out.push_str(&format!(" {v:>8.3}")),
+                    None => out.push_str(&format!(" {:>8}", "-")),
                 }
-                out.push('\n');
             }
+            out.push('\n');
         }
         out
     }
@@ -99,14 +119,19 @@ impl Bars {
         out
     }
 
-    /// The best (largest-value) bar.
+    /// The best (largest finite value) bar; `("", NaN)` when no bar has
+    /// a finite value.
     pub fn best(&self) -> (&str, f64) {
-        let (l, v) = self
-            .bars
+        self.bars
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaNs"))
-            .expect("non-empty");
-        (l.as_str(), *v)
+            .filter(|(_, v)| v.is_finite())
+            .fold(("", f64::NAN), |acc, (l, v)| {
+                if !acc.1.is_finite() || *v > acc.1 {
+                    (l.as_str(), *v)
+                } else {
+                    acc
+                }
+            })
     }
 
     /// Value for a given label.
@@ -117,11 +142,46 @@ impl Bars {
 
 // ---------- shared sweep helpers ----------
 
-/// Throughput curve of one design over the sweep counts.
+/// Look up a design that the static table is known to contain; falls
+/// back to the first of the nine designs so the lookup can never panic
+/// if the table is ever reorganized.
+fn known_design(name: &str) -> Design {
+    match by_name(name) {
+        Some(d) => d,
+        None => {
+            eprintln!("tlpsim: design table no longer contains {name:?}; using fallback");
+            nine_designs().swap_remove(0)
+        }
+    }
+}
+
+/// Fetch one cell, logging and skipping failures.
+fn try_cell(
+    ctx: &Ctx,
+    d: &Design,
+    n: usize,
+    kind: WorkloadKind,
+    smt: bool,
+    bus: f64,
+) -> Option<Arc<Cell>> {
+    match ctx.mp_cell_bus(d, n, kind, smt, bus) {
+        Ok(c) => Some(c),
+        Err(e) => {
+            eprintln!(
+                "tlpsim: cell {} n={n} ({kind:?}, smt={smt}, {bus} GB/s) failed: {e}; skipping",
+                d.name
+            );
+            None
+        }
+    }
+}
+
+/// Throughput curve of one design over the sweep counts (failed cells
+/// leave holes).
 fn stp_curve(ctx: &Ctx, d: &Design, kind: WorkloadKind, smt: bool, bus: f64) -> Series {
     let points = SWEEP_COUNTS
         .iter()
-        .map(|&n| (n, ctx.mp_cell_bus(d, n, kind, smt, bus).mean_stp()))
+        .filter_map(|&n| try_cell(ctx, d, n, kind, smt, bus).map(|c| (n, c.mean_stp())))
         .collect();
     Series {
         label: d.name.clone(),
@@ -129,8 +189,27 @@ fn stp_curve(ctx: &Ctx, d: &Design, kind: WorkloadKind, smt: bool, bus: f64) -> 
     }
 }
 
-/// Prefetch all (design, count) cells in parallel.
-fn prefetch(ctx: &Ctx, designs: &[Design], kind: WorkloadKind, smt_modes: &[bool], bus: f64) {
+/// Per-benchmark/metric point of one cell, or `None` if the cell failed.
+fn cell_value(
+    ctx: &Ctx,
+    d: &Design,
+    n: usize,
+    kind: WorkloadKind,
+    smt: bool,
+    f: impl Fn(&Cell) -> f64,
+) -> Option<f64> {
+    try_cell(ctx, d, n, kind, smt, 8.0).map(|c| f(&c))
+}
+
+/// Prefetch all (design, count) cells in parallel, reporting (but
+/// tolerating) failures. Returns the number of failed cells.
+fn prefetch(
+    ctx: &Ctx,
+    designs: &[Design],
+    kind: WorkloadKind,
+    smt_modes: &[bool],
+    bus: f64,
+) -> usize {
     let mut jobs = Vec::new();
     for d in designs {
         for &smt in smt_modes {
@@ -139,9 +218,17 @@ fn prefetch(ctx: &Ctx, designs: &[Design], kind: WorkloadKind, smt_modes: &[bool
             }
         }
     }
-    par_map(&jobs, |(d, n, smt)| {
-        ctx.mp_cell_bus(d, *n, kind, *smt, bus);
+    let results = par_map(&jobs, |(d, n, smt)| {
+        ctx.mp_cell_bus(d, *n, kind, *smt, bus).map(|_| ())
     });
+    let failed = results.iter().filter(|r| r.is_err()).count();
+    if failed > 0 {
+        eprintln!(
+            "tlpsim: prefetch: {failed}/{} cells failed ({kind:?}); figures will have holes",
+            jobs.len()
+        );
+    }
+    failed
 }
 
 // ---------- Figure 1 ----------
@@ -152,12 +239,13 @@ pub const FIG1_BUCKETS: [&str; 9] = ["1", "2", "3", "4", "5", "6-10", "11-15", "
 /// Distribution of the number of active threads for the PARSEC-like
 /// benchmarks on a twenty-core processor (Figure 1). Returns, per app,
 /// the fraction of ROI time in each bucket, plus an `"average"` row.
+/// Apps whose run fails are logged and omitted.
 pub fn fig1_active_threads(ctx: &Ctx) -> Vec<(String, [f64; 9])> {
-    let d = by_name("20s").expect("20s exists");
+    let d = known_design("20s");
     let apps = parsec::all();
     let idx: Vec<usize> = (0..apps.len()).collect();
-    let rows = par_map(&idx, |&a| {
-        let r = ctx.parsec_run(&d, a, 20, false, 8.0);
+    let results = par_map(&idx, |&a| {
+        let r = ctx.parsec_run(&d, a, 20, false, 8.0)?;
         let total: u64 = r.histogram.iter().sum();
         let mut buckets = [0.0f64; 9];
         for (k, &cycles) in r.histogram.iter().enumerate() {
@@ -174,15 +262,24 @@ pub fn fig1_active_threads(ctx: &Ctx) -> Vec<(String, [f64; 9])> {
             };
             buckets[b] += cycles as f64 / total.max(1) as f64;
         }
-        (apps[a].name.to_string(), buckets)
+        Ok((apps[a].name.to_string(), buckets))
     });
+    let mut rows: Vec<(String, [f64; 9])> = Vec::new();
+    for (a, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(row) => rows.push(row),
+            Err(e) => eprintln!("tlpsim: fig1: app {} failed: {e}; omitted", apps[a].name),
+        }
+    }
+    if rows.is_empty() {
+        return rows;
+    }
     let mut avg = [0.0f64; 9];
     for (_, b) in &rows {
         for i in 0..9 {
             avg[i] += b[i] / rows.len() as f64;
         }
     }
-    let mut rows = rows;
     rows.push(("average".to_string(), avg));
     rows
 }
@@ -208,19 +305,18 @@ pub fn fig3_throughput(ctx: &Ctx, kind: WorkloadKind) -> Figure {
 pub fn fig4_per_benchmark(ctx: &Ctx, bench: usize) -> Figure {
     let designs = nine_designs();
     prefetch(ctx, &designs, WorkloadKind::Homogeneous, &[true], 8.0);
+    let name = spec::names().get(bench).copied().unwrap_or("?");
     Figure {
-        title: format!("Fig.4 STP vs thread count ({})", spec::names()[bench]),
+        title: format!("Fig.4 STP vs thread count ({name})"),
         series: designs
             .iter()
             .map(|d| Series {
                 label: d.name.clone(),
                 points: SWEEP_COUNTS
                     .iter()
-                    .map(|&n| {
-                        (
-                            n,
-                            ctx.mp_cell(d, n, WorkloadKind::Homogeneous, true).stp[bench],
-                        )
+                    .filter_map(|&n| {
+                        cell_value(ctx, d, n, WorkloadKind::Homogeneous, true, |c| c.stp[bench])
+                            .map(|v| (n, v))
                     })
                     .collect(),
             })
@@ -241,12 +337,9 @@ pub fn fig5_antt(ctx: &Ctx) -> Figure {
                 label: d.name.clone(),
                 points: SWEEP_COUNTS
                     .iter()
-                    .map(|&n| {
-                        (
-                            n,
-                            ctx.mp_cell(d, n, WorkloadKind::Homogeneous, true)
-                                .mean_antt(),
-                        )
+                    .filter_map(|&n| {
+                        cell_value(ctx, d, n, WorkloadKind::Homogeneous, true, Cell::mean_antt)
+                            .map(|v| (n, v))
                     })
                     .collect(),
             })
@@ -316,8 +409,9 @@ pub fn fig9_per_benchmark(ctx: &Ctx) -> Vec<(String, Bars)> {
                         label: d.name.clone(),
                         points: SWEEP_COUNTS
                             .iter()
-                            .map(|&n| {
-                                (n, ctx.mp_cell(d, n, WorkloadKind::Homogeneous, true).stp[b])
+                            .filter_map(|&n| {
+                                cell_value(ctx, d, n, WorkloadKind::Homogeneous, true, |c| c.stp[b])
+                                    .map(|v| (n, v))
                             })
                             .collect(),
                     };
@@ -399,7 +493,8 @@ fn parsec_counts(d: &Design, smt: bool) -> Vec<usize> {
 }
 
 /// Best (max) speedup of `design` for one app, relative to
-/// `ref_cycles`, over the allowed thread counts.
+/// `ref_cycles`, over the allowed thread counts. `None` if every
+/// allowed count failed to simulate.
 fn parsec_speedup(
     ctx: &Ctx,
     d: &Design,
@@ -408,34 +503,42 @@ fn parsec_speedup(
     bus: f64,
     ref_cycles: u64,
     roi_only: bool,
-) -> f64 {
-    parsec_counts(d, smt)
-        .iter()
-        .map(|&n| {
-            let r = ctx.parsec_run(d, app, n, smt, bus);
-            let c = if roi_only {
-                r.roi_cycles
-            } else {
-                r.total_cycles
-            };
-            ref_cycles as f64 / c.max(1) as f64
-        })
-        .fold(f64::MIN, f64::max)
+) -> Option<f64> {
+    let mut best = None;
+    for n in parsec_counts(d, smt) {
+        match ctx.parsec_run(d, app, n, smt, bus) {
+            Ok(r) => {
+                let c = if roi_only {
+                    r.roi_cycles
+                } else {
+                    r.total_cycles
+                };
+                let s = ref_cycles as f64 / c.max(1) as f64;
+                best = Some(best.map_or(s, |b: f64| b.max(s)));
+            }
+            Err(e) => eprintln!(
+                "tlpsim: parsec app {app} x{n} on {} (smt={smt}) failed: {e}; skipping",
+                d.name
+            ),
+        }
+    }
+    best
 }
 
 /// The reference execution: the app with 4 threads on 4B (ROI and
 /// whole-program cycles).
-fn parsec_reference(ctx: &Ctx, app: usize, bus: f64) -> (u64, u64) {
-    let d = by_name("4B").expect("4B exists");
-    let r = ctx.parsec_run(&d, app, 4, true, bus);
-    (r.roi_cycles, r.total_cycles)
+fn parsec_reference(ctx: &Ctx, app: usize, bus: f64) -> Result<(u64, u64), SimError> {
+    let d = known_design("4B");
+    let r = ctx.parsec_run(&d, app, 4, true, bus)?;
+    Ok((r.roi_cycles, r.total_cycles))
 }
 
 /// Figures 11/12: normalized speedups for the multi-threaded
 /// benchmarks on {4B, 8m, 20s, 1B6m, 1B15s}, without and with SMT.
 /// Returns per-app rows plus an `"average"` row; each row holds
 /// `(design, smt) -> speedup` in a fixed order given by
-/// [`parsec_design_columns`].
+/// [`parsec_design_columns`]. Cells that fail to simulate are `NaN`;
+/// an app whose reference run fails is omitted entirely.
 pub fn fig11_12_parsec(ctx: &Ctx, roi_only: bool, bus: f64) -> Vec<(String, Vec<f64>)> {
     let designs = parsec_design_columns();
     let apps = parsec::all();
@@ -451,31 +554,62 @@ pub fn fig11_12_parsec(ctx: &Ctx, roi_only: bool, bus: f64) -> Vec<(String, Vec<
             }
         }
     }
-    par_map(&jobs, |(a, d, smt, n)| match d {
-        None => {
-            parsec_reference(ctx, *a, bus);
-        }
-        Some(d) => {
-            ctx.parsec_run(d, *a, *n, *smt, bus);
-        }
+    let prefetched = par_map(&jobs, |(a, d, smt, n)| match d {
+        None => parsec_reference(ctx, *a, bus).map(|_| ()),
+        Some(d) => ctx.parsec_run(d, *a, *n, *smt, bus).map(|_| ()),
     });
+    let failed = prefetched.iter().filter(|r| r.is_err()).count();
+    if failed > 0 {
+        eprintln!(
+            "tlpsim: fig11/12 prefetch: {failed}/{} runs failed; rows will have NaN holes",
+            jobs.len()
+        );
+    }
 
-    let mut rows: Vec<(String, Vec<f64>)> = (0..apps.len())
-        .map(|a| {
-            let (ref_roi, ref_total) = parsec_reference(ctx, a, bus);
-            let refc = if roi_only { ref_roi } else { ref_total };
-            let mut vals = Vec::new();
-            for smt in [false, true] {
-                for d in &designs {
-                    vals.push(parsec_speedup(ctx, d, a, smt, bus, refc, roi_only));
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for (a, app) in apps.iter().enumerate() {
+        let refc = match parsec_reference(ctx, a, bus) {
+            Ok((roi, total)) => {
+                if roi_only {
+                    roi
+                } else {
+                    total
                 }
             }
-            (apps[a].name.to_string(), vals)
-        })
-        .collect();
+            Err(e) => {
+                eprintln!(
+                    "tlpsim: fig11/12: reference run for {} failed: {e}; row omitted",
+                    app.name
+                );
+                continue;
+            }
+        };
+        let mut vals = Vec::new();
+        for smt in [false, true] {
+            for d in &designs {
+                vals.push(parsec_speedup(ctx, d, a, smt, bus, refc, roi_only).unwrap_or(f64::NAN));
+            }
+        }
+        rows.push((app.name.to_string(), vals));
+    }
+    if rows.is_empty() {
+        return rows;
+    }
     let cols = rows[0].1.len();
+    // Average over the rows whose value is finite in each column.
     let avg: Vec<f64> = (0..cols)
-        .map(|c| rows.iter().map(|(_, v)| v[c]).sum::<f64>() / rows.len() as f64)
+        .map(|c| {
+            let vals: Vec<f64> = rows
+                .iter()
+                .map(|(_, v)| v[c])
+                .filter(|v| v.is_finite())
+                .collect();
+            if vals.is_empty() {
+                f64::NAN
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        })
         .collect();
     rows.push(("average".to_string(), avg));
     rows
@@ -486,18 +620,14 @@ pub fn fig11_12_parsec(ctx: &Ctx, roi_only: bool, bus: f64) -> Vec<(String, Vec<
 pub fn parsec_design_columns() -> Vec<Design> {
     ["4B", "8m", "20s", "1B6m", "1B15s"]
         .iter()
-        .map(|n| by_name(n).expect("known design"))
+        .map(|n| known_design(n))
         .collect()
 }
 
 /// Figure 16: multi-threaded ROI speedups for the alternative designs
 /// of Section 8.1 (larger caches / higher frequency), SMT enabled.
 pub fn fig16_alt_designs(ctx: &Ctx) -> Bars {
-    let mut designs = vec![
-        by_name("4B").expect("known"),
-        by_name("8m").expect("known"),
-        by_name("20s").expect("known"),
-    ];
+    let mut designs = vec![known_design("4B"), known_design("8m"), known_design("20s")];
     designs.extend(alt_designs());
     let apps = parsec::all();
     let mut jobs = Vec::new();
@@ -510,23 +640,26 @@ pub fn fig16_alt_designs(ctx: &Ctx) -> Bars {
         }
     }
     par_map(&jobs, |(a, d, n)| match d {
-        None => {
-            parsec_reference(ctx, *a, 8.0);
-        }
-        Some(d) => {
-            ctx.parsec_run(d, *a, *n, true, 8.0);
-        }
+        None => parsec_reference(ctx, *a, 8.0).map(|_| ()),
+        Some(d) => ctx.parsec_run(d, *a, *n, true, 8.0).map(|_| ()),
     });
     let bars = designs
         .iter()
         .map(|d| {
-            let avg = (0..apps.len())
-                .map(|a| {
-                    let (ref_roi, _) = parsec_reference(ctx, a, 8.0);
-                    parsec_speedup(ctx, d, a, true, 8.0, ref_roi, true)
-                })
-                .sum::<f64>()
-                / apps.len() as f64;
+            let mut speedups = Vec::new();
+            for a in 0..apps.len() {
+                let Ok((ref_roi, _)) = parsec_reference(ctx, a, 8.0) else {
+                    continue;
+                };
+                if let Some(s) = parsec_speedup(ctx, d, a, true, 8.0, ref_roi, true) {
+                    speedups.push(s);
+                }
+            }
+            let avg = if speedups.is_empty() {
+                f64::NAN
+            } else {
+                speedups.iter().sum::<f64>() / speedups.len() as f64
+            };
             (d.name.clone(), avg)
         })
         .collect();
@@ -543,17 +676,34 @@ pub fn fig16_alt_designs(ctx: &Ctx) -> Bars {
 pub fn fig13_dynamic(ctx: &Ctx, kind: WorkloadKind) -> Figure {
     let designs = nine_designs();
     prefetch(ctx, &designs, kind, &[true, false], 8.0);
-    let d4b = by_name("4B").expect("4B exists");
-    let mk = |label: &str, f: &dyn Fn(usize) -> f64| Series {
+    let d4b = known_design("4B");
+    let mk = |label: &str, f: &dyn Fn(usize) -> Option<f64>| Series {
         label: label.to_string(),
-        points: SWEEP_COUNTS.iter().map(|&n| (n, f(n))).collect(),
+        points: SWEEP_COUNTS
+            .iter()
+            .filter_map(|&n| f(n).map(|v| (n, v)))
+            .collect(),
     };
     Figure {
         title: format!("Fig.13 4B+SMT vs ideal dynamic multi-core ({kind:?})"),
         series: vec![
-            mk("4B", &|n| ctx.mp_cell(&d4b, n, kind, true).mean_stp()),
-            mk("dyn", &|n| dynamic_stp(ctx, n, kind, false)),
-            mk("dynSMT", &|n| dynamic_stp(ctx, n, kind, true)),
+            mk("4B", &|n| {
+                cell_value(ctx, &d4b, n, kind, true, Cell::mean_stp)
+            }),
+            mk("dyn", &|n| match dynamic_stp(ctx, n, kind, false) {
+                Ok(v) => Some(v),
+                Err(e) => {
+                    eprintln!("tlpsim: fig13: dyn at n={n} failed: {e}; skipping");
+                    None
+                }
+            }),
+            mk("dynSMT", &|n| match dynamic_stp(ctx, n, kind, true) {
+                Ok(v) => Some(v),
+                Err(e) => {
+                    eprintln!("tlpsim: fig13: dynSMT at n={n} failed: {e}; skipping");
+                    None
+                }
+            }),
         ],
     }
 }
@@ -573,12 +723,9 @@ pub fn fig14_power(ctx: &Ctx) -> Figure {
                 label: d.name.clone(),
                 points: SWEEP_COUNTS
                     .iter()
-                    .map(|&n| {
-                        (
-                            n,
-                            ctx.mp_cell(d, n, WorkloadKind::Homogeneous, true)
-                                .mean_power(),
-                        )
+                    .filter_map(|&n| {
+                        cell_value(ctx, d, n, WorkloadKind::Homogeneous, true, Cell::mean_power)
+                            .map(|v| (n, v))
                     })
                     .collect(),
             })
@@ -604,6 +751,7 @@ pub struct PowerPerfPoint {
 
 /// Figure 15: throughput versus power and energy for all designs
 /// (heterogeneous workloads, uniform distribution, SMT, power gating).
+/// Returns an empty vector if the 4B normalization baseline failed.
 pub fn fig15_power_perf(ctx: &Ctx) -> Vec<PowerPerfPoint> {
     let designs = nine_designs();
     prefetch(ctx, &designs, WorkloadKind::Heterogeneous, &[true], 8.0);
@@ -616,23 +764,31 @@ pub fn fig15_power_perf(ctx: &Ctx) -> Vec<PowerPerfPoint> {
                 label: d.name.clone(),
                 points: SWEEP_COUNTS
                     .iter()
-                    .map(|&n| {
-                        (
+                    .filter_map(|&n| {
+                        cell_value(
+                            ctx,
+                            d,
                             n,
-                            ctx.mp_cell(d, n, WorkloadKind::Heterogeneous, true)
-                                .mean_power(),
+                            WorkloadKind::Heterogeneous,
+                            true,
+                            Cell::mean_power,
                         )
+                        .map(|v| (n, v))
                     })
                     .collect(),
             };
             (d.name.clone(), stp.dist_avg(&dist), power.dist_avg(&dist))
         })
         .collect();
-    let (p4b, w4b) = raw
+    let Some((p4b, w4b)) = raw
         .iter()
         .find(|(n, _, _)| n == "4B")
         .map(|&(_, p, w)| (p, w))
-        .expect("4B present");
+        .filter(|(p, w)| p.is_finite() && w.is_finite() && *p > 0.0)
+    else {
+        eprintln!("tlpsim: fig15: 4B baseline failed to simulate; figure omitted");
+        return Vec::new();
+    };
     let e4b = w4b / p4b;
     let edp4b = w4b / (p4b * p4b);
     raw.into_iter()
@@ -660,9 +816,16 @@ pub fn fig17_high_bandwidth(ctx: &Ctx) -> (Bars, Bars, Vec<(String, Vec<f64>)>) 
                 jobs.push((d.clone(), n));
             }
         }
-        par_map(&jobs, |(d, n)| {
-            ctx.mp_cell_bus(d, *n, kind, true, 16.0);
+        let results = par_map(&jobs, |(d, n)| {
+            ctx.mp_cell_bus(d, *n, kind, true, 16.0).map(|_| ())
         });
+        let failed = results.iter().filter(|r| r.is_err()).count();
+        if failed > 0 {
+            eprintln!(
+                "tlpsim: fig17 prefetch: {failed}/{} cells failed",
+                jobs.len()
+            );
+        }
     }
     let mk = |kind: WorkloadKind| Bars {
         title: format!("Fig.17 uniform STP at 16 GB/s ({kind:?}, SMT)"),
@@ -699,6 +862,15 @@ mod tests {
     }
 
     #[test]
+    fn empty_series_interpolates_to_nan() {
+        let s = Series {
+            label: "t".into(),
+            points: vec![],
+        };
+        assert!(s.interp(3).is_nan());
+    }
+
+    #[test]
     fn dist_avg_uniform_matches_hand_computation() {
         let s = Series {
             label: "t".into(),
@@ -717,6 +889,45 @@ mod tests {
         assert_eq!(b.best(), ("b", 3.0));
         assert_eq!(b.value("a"), Some(1.0));
         assert!(b.render().contains("3.000"));
+    }
+
+    #[test]
+    fn bars_best_ignores_nan_and_survives_empty() {
+        let b = Bars {
+            title: "t".into(),
+            bars: vec![("a".into(), f64::NAN), ("b".into(), 2.0)],
+        };
+        assert_eq!(b.best(), ("b", 2.0));
+        let empty = Bars {
+            title: "t".into(),
+            bars: vec![],
+        };
+        let (l, v) = empty.best();
+        assert_eq!(l, "");
+        assert!(v.is_nan());
+    }
+
+    #[test]
+    fn figure_render_tolerates_holes() {
+        let f = Figure {
+            title: "t".into(),
+            series: vec![
+                Series {
+                    label: "a".into(),
+                    points: vec![(1, 1.0), (2, 2.0)],
+                },
+                Series {
+                    label: "b".into(),
+                    points: vec![(2, 4.0)],
+                },
+            ],
+        };
+        let out = f.render();
+        assert!(
+            out.contains('-'),
+            "missing samples must render as '-': {out}"
+        );
+        assert!(out.contains("4.000"));
     }
 
     #[test]

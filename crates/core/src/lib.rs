@@ -32,15 +32,21 @@
 //!
 //! let ctx = Ctx::new(SimScale::quick());
 //! let cell = ctx.mp_cell(&configs::by_name("4B").unwrap(), 4,
-//!                        tlpsim_core::ctx::WorkloadKind::Homogeneous, true);
+//!                        tlpsim_core::ctx::WorkloadKind::Homogeneous, true)
+//!     .expect("cell simulates");
 //! println!("4B @ 4 threads: STP = {:.2}", cell.mean_stp());
 //! ```
 
 pub mod configs;
 pub mod ctx;
+pub mod diskcache;
 pub mod dynamic;
+pub mod error;
+pub mod executor;
 pub mod experiments;
 pub mod metrics;
+
+pub use error::SimError;
 
 /// Simulation scaling knobs (see DESIGN.md §6). The paper simulates
 /// 750M-instruction SimPoints; we pre-warm caches functionally and

@@ -111,6 +111,21 @@ impl Slot {
         self.rob.is_empty()
     }
 
+    /// Number of instructions currently occupying this context's ROB
+    /// partition (watchdog diagnostics).
+    pub(crate) fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Memory operations in the ROB that have not completed by `now`
+    /// (unissued, or issued and still waiting on the hierarchy).
+    pub(crate) fn pending_mem_ops(&self, now: Cycle) -> usize {
+        self.rob
+            .iter()
+            .filter(|e| e.kind.is_mem() && (!e.issued || e.done_at > now))
+            .count()
+    }
+
     /// Reset per-residency state after a context switch.
     pub(crate) fn on_switch_in(&mut self, now: Cycle, switch_penalty: u64, quantum: u64) {
         debug_assert!(self.rob.is_empty());

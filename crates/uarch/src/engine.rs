@@ -14,16 +14,108 @@ use crate::program::{ProgramState, ThreadCtl, ThreadProgram};
 use crate::stats::{RunResult, ThreadStats};
 use crate::ThreadId;
 
+/// Default watchdog window: declare a stall if no instruction commits
+/// for this many cycles.
+pub const DEFAULT_WATCHDOG_CYCLES: Cycle = 3_000_000;
+
+/// State of one hardware context at the moment a stall was declared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextSnapshot {
+    /// Core index.
+    pub core: usize,
+    /// SMT slot index within the core.
+    pub slot: usize,
+    /// Thread currently resident on the context, if any.
+    pub resident: Option<ThreadId>,
+    /// Scheduling state of the resident thread.
+    pub state: Option<ProgramState>,
+    /// Software threads queued on this context (time-sharing).
+    pub queued_threads: usize,
+    /// Instructions occupying this context's ROB partition.
+    pub rob_occupancy: usize,
+    /// Memory operations in flight (unissued or awaiting the hierarchy).
+    pub pending_mem_ops: usize,
+}
+
+/// State of one simulated lock at the moment a stall was declared
+/// (grant pointer + waiter queue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSnapshot {
+    /// Lock id.
+    pub id: u32,
+    /// Thread currently granted the lock.
+    pub held_by: Option<ThreadId>,
+    /// Threads queued behind the grant, in arrival order.
+    pub waiters: Vec<ThreadId>,
+}
+
+/// Diagnostic snapshot attached to [`RunError::Stalled`]: everything
+/// needed to see *why* nothing commits — per-context ROB occupancy and
+/// pending memory operations, plus barrier arrival counts and lock
+/// grant pointers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallSnapshot {
+    /// Cycle at which the stall was declared.
+    pub cycle: Cycle,
+    /// The no-commit window that expired.
+    pub window: Cycle,
+    /// Instructions committed chip-wide up to the stall.
+    pub committed: u64,
+    /// Per-context state, in (core, slot) order.
+    pub contexts: Vec<ContextSnapshot>,
+    /// Open barriers as `(id, arrived, needed)`.
+    pub barriers: Vec<(u32, usize, usize)>,
+    /// Lock grant state.
+    pub locks: Vec<LockSnapshot>,
+}
+
+impl std::fmt::Display for StallSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "stalled at cycle {} ({} commits total; no commit for {} cycles)",
+            self.cycle, self.committed, self.window
+        )?;
+        for c in &self.contexts {
+            writeln!(
+                f,
+                "  core {}.{}: resident={:?} state={:?} queued={} rob={} pending_mem={}",
+                c.core,
+                c.slot,
+                c.resident,
+                c.state,
+                c.queued_threads,
+                c.rob_occupancy,
+                c.pending_mem_ops
+            )?;
+        }
+        for (id, arrived, needed) in &self.barriers {
+            writeln!(f, "  barrier {id}: {arrived}/{needed} arrived")?;
+        }
+        for l in &self.locks {
+            writeln!(
+                f,
+                "  lock {}: held_by={:?} waiters={:?}",
+                l.id, l.held_by, l.waiters
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// Why a run could not complete.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunError {
     /// A thread was added but never pinned to a hardware context.
     UnassignedThread(ThreadId),
-    /// No instruction committed for a long window — the schedule
-    /// deadlocked (e.g. a barrier whose participants cannot all run).
-    Deadlock {
-        /// Cycle at which the deadlock was declared.
+    /// No instruction committed within the watchdog window — the
+    /// schedule stalled (e.g. a barrier whose participants cannot all
+    /// run). Carries a diagnostic snapshot of the whole chip.
+    Stalled {
+        /// Cycle at which the stall was declared.
         cycle: Cycle,
+        /// Chip state at the moment of the stall.
+        snapshot: Box<StallSnapshot>,
     },
     /// The cycle limit was exceeded.
     CycleLimit {
@@ -36,7 +128,9 @@ impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunError::UnassignedThread(t) => write!(f, "thread {t} was never pinned"),
-            RunError::Deadlock { cycle } => write!(f, "no forward progress by cycle {cycle}"),
+            RunError::Stalled { cycle, snapshot } => {
+                write!(f, "no forward progress by cycle {cycle}: {snapshot}")
+            }
             RunError::CycleLimit { limit } => write!(f, "exceeded cycle limit {limit}"),
         }
     }
@@ -67,6 +161,7 @@ pub struct MultiCore {
     roi_barriers: Option<(u32, u32)>,
     recording: bool,
     events: Vec<Drained>,
+    watchdog_window: Cycle,
 }
 
 impl MultiCore {
@@ -92,8 +187,17 @@ impl MultiCore {
             roi_barriers: None,
             recording: true,
             events: Vec::new(),
+            watchdog_window: DEFAULT_WATCHDOG_CYCLES,
             chip: chip.clone(),
         }
+    }
+
+    /// Configure the stall watchdog: if no instruction commits anywhere
+    /// on the chip for `window` cycles, [`run`](Self::run) aborts with
+    /// [`RunError::Stalled`] carrying a [`StallSnapshot`] instead of
+    /// spinning forever. The default is [`DEFAULT_WATCHDOG_CYCLES`].
+    pub fn set_watchdog(&mut self, window: Cycle) {
+        self.watchdog_window = window.max(1);
     }
 
     /// Register a software thread; returns its id. The thread still has
@@ -185,6 +289,12 @@ impl MultiCore {
         }
         self.hist = vec![0; self.threads.len() + 1];
 
+        // Check cadence: cheap power-of-two mask, fine enough that the
+        // watchdog fires within ~1.25x its window even for small windows.
+        let check_mask = (self.watchdog_window / 4)
+            .next_power_of_two()
+            .clamp(1, 0x1_0000)
+            - 1;
         let mut last_progress_commits = 0u64;
         let mut last_progress_cycle = 0u64;
         while !self.finished() {
@@ -192,11 +302,14 @@ impl MultiCore {
             if self.now > limit {
                 return Err(RunError::CycleLimit { limit });
             }
-            if self.now & 0xFFFF == 0 {
+            if self.now & check_mask == 0 {
                 let committed: u64 = self.threads.iter().map(|t| t.committed).sum();
                 if committed == last_progress_commits {
-                    if self.now - last_progress_cycle > 3_000_000 {
-                        return Err(RunError::Deadlock { cycle: self.now });
+                    if self.now - last_progress_cycle > self.watchdog_window {
+                        return Err(RunError::Stalled {
+                            cycle: self.now,
+                            snapshot: Box::new(self.stall_snapshot()),
+                        });
                     }
                 } else {
                     last_progress_commits = committed;
@@ -205,6 +318,49 @@ impl MultiCore {
             }
         }
         Ok(self.result())
+    }
+
+    /// Capture the diagnostic state attached to [`RunError::Stalled`].
+    fn stall_snapshot(&self) -> StallSnapshot {
+        let mut contexts = Vec::new();
+        for (ci, core) in self.cores.iter().enumerate() {
+            for (si, slot) in core.slots().iter().enumerate() {
+                let resident = slot.resident();
+                contexts.push(ContextSnapshot {
+                    core: ci,
+                    slot: si,
+                    resident,
+                    state: resident.map(|t| self.threads[t].state),
+                    queued_threads: slot.threads.len(),
+                    rob_occupancy: slot.rob_occupancy(),
+                    pending_mem_ops: slot.pending_mem_ops(self.now),
+                });
+            }
+        }
+        let mut barriers: Vec<(u32, usize, usize)> = self
+            .barriers
+            .iter()
+            .map(|(&id, &arrived)| (id, arrived, self.n_segmented))
+            .collect();
+        barriers.sort_unstable();
+        let mut locks: Vec<LockSnapshot> = self
+            .locks
+            .iter()
+            .map(|(&id, l)| LockSnapshot {
+                id,
+                held_by: l.held_by,
+                waiters: l.waiters.iter().copied().collect(),
+            })
+            .collect();
+        locks.sort_unstable_by_key(|l| l.id);
+        StallSnapshot {
+            cycle: self.now,
+            window: self.watchdog_window,
+            committed: self.threads.iter().map(|t| t.committed).sum(),
+            contexts,
+            barriers,
+            locks,
+        }
     }
 
     fn finished(&self) -> bool {

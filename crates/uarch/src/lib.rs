@@ -51,7 +51,9 @@ mod stats;
 
 pub use config::{ChipConfig, CoreClass, CoreConfig, FetchPolicy, FuConfig, RobSharing};
 pub use core_model::CoreModel;
-pub use engine::{MultiCore, RunError};
+pub use engine::{
+    ContextSnapshot, LockSnapshot, MultiCore, RunError, StallSnapshot, DEFAULT_WATCHDOG_CYCLES,
+};
 pub use program::{ProgramState, ThreadProgram};
 pub use stats::{CoreStats, RunResult, ThreadStats};
 

@@ -1,0 +1,100 @@
+//! The stall watchdog: a schedule that cannot make progress must abort
+//! with `RunError::Stalled` and a usable diagnostic snapshot instead of
+//! spinning forever.
+
+use tlpsim_uarch::{
+    ChipConfig, CoreConfig, MultiCore, ProgramState, RunError, ThreadProgram,
+    DEFAULT_WATCHDOG_CYCLES,
+};
+use tlpsim_workloads::{spec, InstrStream, Segment};
+
+/// Two segmented threads where only one ever reaches barrier 0: the
+/// barrier needs both segmented threads, so the waiter starves.
+fn stalled_sim() -> MultiCore {
+    let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66);
+    let mut sim = MultiCore::new(&chip);
+    let profile = spec::gcc_like();
+    let waiter = sim.add_thread(ThreadProgram::segmented(
+        InstrStream::new(&profile, 0, 1),
+        vec![
+            Segment::Compute { instrs: 500 },
+            Segment::Barrier { id: 0 },
+            Segment::Compute { instrs: 500 },
+        ],
+    ));
+    let runner = sim.add_thread(ThreadProgram::segmented(
+        InstrStream::new(&profile, 1, 2),
+        vec![Segment::Compute { instrs: 500 }],
+    ));
+    sim.pin(waiter, 0, 0);
+    sim.pin(runner, 1, 0);
+    sim
+}
+
+#[test]
+fn watchdog_fires_on_starved_barrier() {
+    let mut sim = stalled_sim();
+    sim.set_watchdog(20_000);
+    match sim.run() {
+        Err(RunError::Stalled { cycle, snapshot }) => {
+            // Fires promptly: well before the old hard-coded 3M window.
+            assert!(cycle < 200_000, "stall declared only at cycle {cycle}");
+            assert_eq!(snapshot.window, 20_000);
+            assert!(snapshot.committed >= 1_000, "both compute phases ran");
+            // The snapshot names the starved barrier: 1 of 2 arrived.
+            assert_eq!(snapshot.barriers, vec![(0, 1, 2)]);
+            // The waiter is visible as blocked at barrier 0.
+            let blocked = snapshot
+                .contexts
+                .iter()
+                .filter(|c| c.state == Some(ProgramState::AtBarrier(0)))
+                .count();
+            assert_eq!(blocked, 1, "snapshot: {snapshot}");
+            // Nothing is in flight anywhere: the chip is truly idle.
+            assert!(snapshot.contexts.iter().all(|c| c.pending_mem_ops == 0));
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+}
+
+#[test]
+fn watchdog_window_is_configurable() {
+    let mut fast = stalled_sim();
+    fast.set_watchdog(5_000);
+    let mut slow = stalled_sim();
+    slow.set_watchdog(400_000);
+    let fast_cycle = match fast.run() {
+        Err(RunError::Stalled { cycle, .. }) => cycle,
+        other => panic!("expected Stalled, got {other:?}"),
+    };
+    let slow_cycle = match slow.run() {
+        Err(RunError::Stalled { cycle, .. }) => cycle,
+        other => panic!("expected Stalled, got {other:?}"),
+    };
+    assert!(
+        fast_cycle < slow_cycle,
+        "5k window fired at {fast_cycle}, 400k window at {slow_cycle}"
+    );
+}
+
+#[test]
+fn healthy_run_is_untouched_by_a_tight_watchdog() {
+    let chip = ChipConfig::homogeneous(1, CoreConfig::big(), 2.66);
+    let mut sim = MultiCore::new(&chip);
+    let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+        InstrStream::new(&spec::hmmer_like(), 0, 1),
+        0,
+        5_000,
+    ));
+    sim.pin(t, 0, 0);
+    sim.prewarm();
+    sim.set_watchdog(50_000);
+    let run = sim.run().expect("healthy run completes");
+    assert!(run.threads[0].finish_cycle.is_some());
+}
+
+#[test]
+fn default_window_matches_constant() {
+    // The default must stay generous enough for slow-but-live runs.
+    assert_eq!(DEFAULT_WATCHDOG_CYCLES, 3_000_000);
+}

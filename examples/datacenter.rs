@@ -5,7 +5,7 @@
 //! Run with `cargo run --release --example datacenter`.
 
 use tlpsim::core::configs::nine_designs;
-use tlpsim::core::ctx::{Ctx, WorkloadKind};
+use tlpsim::core::ctx::Ctx;
 use tlpsim::core::experiments::fig10_datacenter;
 use tlpsim::core::SimScale;
 use tlpsim::workloads::ThreadCountDistribution;

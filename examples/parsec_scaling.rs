@@ -21,9 +21,18 @@ fn main() {
         "app", "4thr", "8thr", "24thr"
     );
     for (a, app) in apps.iter().enumerate() {
-        let t4 = ctx.parsec_run(&d4b, a, 4, true, 8.0).roi_cycles;
-        let t8 = ctx.parsec_run(&d4b, a, 8, true, 8.0).roi_cycles;
-        let r24 = ctx.parsec_run(&d4b, a, 24, true, 8.0);
+        let run = |n: usize| match ctx.parsec_run(&d4b, a, n, true, 8.0) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("{} x{n} failed: {e}; skipping app", app.name);
+                None
+            }
+        };
+        let (Some(r4), Some(r8), Some(r24)) = (run(4), run(8), run(24)) else {
+            continue;
+        };
+        let t4 = r4.roi_cycles;
+        let t8 = r8.roi_cycles;
         let t24 = r24.roi_cycles;
         // Fraction of ROI time with at least 20 runnable threads.
         let total: u64 = r24.histogram.iter().sum();

@@ -6,22 +6,121 @@
 //! tlpsim run 2B10s 12 --bench mcf_like # homogeneous 12-copy workload
 //! tlpsim app 4B blackscholes_like 8    # a multi-threaded app run
 //! ```
+//!
+//! Exit codes (stable; scripts may rely on them):
+//!
+//! | code | meaning                                           |
+//! |------|---------------------------------------------------|
+//! | 0    | success                                           |
+//! | 2    | usage error (bad flags/arguments)                 |
+//! | 3    | unknown design, benchmark or application name     |
+//! | 4    | simulation failed (stall, invalid configuration)  |
 
 use tlpsim::core::configs;
 use tlpsim::core::ctx::{Ctx, WorkloadKind};
-use tlpsim::core::SimScale;
+use tlpsim::core::{SimError, SimScale};
 use tlpsim::workloads::{parsec, spec};
+
+/// Usage error: bad syntax, missing arguments.
+const EXIT_USAGE: i32 = 2;
+/// Unknown design/benchmark/application name.
+const EXIT_UNKNOWN_NAME: i32 = 3;
+/// The simulation itself failed (watchdog stall, invalid config, ...).
+const EXIT_SIM_FAILED: i32 = 4;
+
+const HELP: &str = "\
+tlpsim — multi-core SMT design-space simulator (ASPLOS 2014 reproduction)
+
+USAGE:
+  tlpsim list
+      Print the known designs, SPEC-like benchmarks and PARSEC-like apps.
+
+  tlpsim run <design> <threads> [--no-smt] [--bench <name>] [--bus16]
+      Simulate a multi-program workload on <design> with <threads>
+      threads. Default is the 12 heterogeneous mixes; --bench <name>
+      runs <threads> copies of one benchmark instead. --bus16 doubles
+      the memory bus to 16 GB/s (default 8 GB/s).
+
+  tlpsim app <design> <app> <threads> [--no-smt]
+      Run one PARSEC-like multi-threaded application.
+
+  tlpsim help | --help | -h
+      Show this message.
+
+ENVIRONMENT:
+  TLPSIM_CACHE   Path to the on-disk result cache. Unset: in-memory
+                 only. A corrupt or torn cache file is detected
+                 (checksummed records) and repaired in place; see
+                 README 'Troubleshooting'.
+  TLPSIM_WATCHDOG_CYCLES
+                 Override the stall watchdog window (simulated cycles,
+                 default 3000000). A run that commits nothing for this
+                 long aborts with a diagnostic snapshot.
+
+EXIT CODES:
+  0  success
+  2  usage error
+  3  unknown design, benchmark or application name
+  4  simulation failed (stalled run, invalid configuration)
+";
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  tlpsim list\n  tlpsim run <design> <threads> [--no-smt] [--bench <name>] [--bus16]\n  tlpsim app <design> <app> <threads> [--no-smt]"
+        "usage:\n  tlpsim list\n  tlpsim run <design> <threads> [--no-smt] [--bench <name>] [--bus16]\n  tlpsim app <design> <app> <threads> [--no-smt]\n  tlpsim --help"
     );
-    std::process::exit(2);
+    std::process::exit(EXIT_USAGE);
 }
 
+/// Report a simulation failure and exit with the dedicated code.
+fn sim_failed(what: &str, e: SimError) -> ! {
+    eprintln!("tlpsim: {what} failed: {e}");
+    std::process::exit(EXIT_SIM_FAILED);
+}
+
+/// Build the context: in-memory, or disk-backed when `TLPSIM_CACHE` is
+/// set; watchdog window from `TLPSIM_WATCHDOG_CYCLES` if present.
+fn make_ctx() -> Ctx {
+    let ctx = match std::env::var("TLPSIM_CACHE") {
+        Ok(path) if !path.is_empty() => Ctx::with_disk_cache(SimScale::quick(), path),
+        _ => Ctx::new(SimScale::quick()),
+    };
+    match std::env::var("TLPSIM_WATCHDOG_CYCLES") {
+        Ok(v) => match v.parse::<u64>() {
+            Ok(cycles) if cycles > 0 => ctx.with_watchdog(cycles),
+            _ => {
+                eprintln!("tlpsim: ignoring invalid TLPSIM_WATCHDOG_CYCLES={v:?}");
+                ctx
+            }
+        },
+        Err(_) => ctx,
+    }
+}
+
+/// Restore default SIGPIPE behaviour so `tlpsim list | head` exits
+/// quietly instead of panicking on a broken-pipe write (Rust sets the
+/// signal to ignored before `main`).
+#[cfg(unix)]
+fn reset_sigpipe() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn reset_sigpipe() {}
+
 fn main() {
+    reset_sigpipe();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{HELP}");
+        }
         Some("list") => {
             println!("designs:");
             for d in configs::nine_designs()
@@ -53,7 +152,7 @@ fn main() {
             }
             let design = configs::by_name(&args[1]).unwrap_or_else(|| {
                 eprintln!("unknown design {}", args[1]);
-                std::process::exit(2)
+                std::process::exit(EXIT_UNKNOWN_NAME)
             });
             let n: usize = args[2].parse().unwrap_or_else(|_| usage());
             let smt = !args.iter().any(|a| a == "--no-smt");
@@ -67,10 +166,12 @@ fn main() {
                 .position(|a| a == "--bench")
                 .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| usage()));
 
-            let ctx = Ctx::new(SimScale::quick());
+            let ctx = make_ctx();
             match bench {
                 None => {
-                    let cell = ctx.mp_cell_bus(&design, n, WorkloadKind::Heterogeneous, smt, bus);
+                    let cell = ctx
+                        .mp_cell_bus(&design, n, WorkloadKind::Heterogeneous, smt, bus)
+                        .unwrap_or_else(|e| sim_failed("run", e));
                     println!(
                         "{} @ {n} threads (SMT={smt}, {bus} GB/s), heterogeneous mixes:",
                         design.name
@@ -85,11 +186,13 @@ fn main() {
                 Some(bname) => {
                     let Some(b) = spec::names().iter().position(|x| *x == bname) else {
                         eprintln!("unknown benchmark {bname}");
-                        std::process::exit(2)
+                        std::process::exit(EXIT_UNKNOWN_NAME)
                     };
-                    let cell = ctx.mp_cell_bus(&design, n, WorkloadKind::Homogeneous, smt, bus);
+                    let cell = ctx
+                        .mp_cell_bus(&design, n, WorkloadKind::Homogeneous, smt, bus)
+                        .unwrap_or_else(|e| sim_failed("run", e));
                     println!(
-                        "{} @ {n} copies of {bname} (SMT={smt}):\n  STP  = {:.3}\n  ANTT = {:.3}\n  power= {:.1} W",
+                        "{} @ {n} copies of {bname} (SMT={smt}, {bus} GB/s):\n  STP  = {:.3}\n  ANTT = {:.3}\n  power= {:.1} W",
                         design.name, cell.stp[b], cell.antt[b], cell.power_w[b]
                     );
                 }
@@ -99,16 +202,21 @@ fn main() {
             if args.len() < 4 {
                 usage();
             }
-            let design = configs::by_name(&args[1]).unwrap_or_else(|| usage());
+            let design = configs::by_name(&args[1]).unwrap_or_else(|| {
+                eprintln!("unknown design {}", args[1]);
+                std::process::exit(EXIT_UNKNOWN_NAME)
+            });
             let apps = parsec::all();
             let Some(a) = apps.iter().position(|x| x.name == args[2]) else {
                 eprintln!("unknown app {}", args[2]);
-                std::process::exit(2)
+                std::process::exit(EXIT_UNKNOWN_NAME)
             };
             let n: usize = args[3].parse().unwrap_or_else(|_| usage());
             let smt = !args.iter().any(|x| x == "--no-smt");
-            let ctx = Ctx::new(SimScale::quick());
-            let r = ctx.parsec_run(&design, a, n, smt, 8.0);
+            let ctx = make_ctx();
+            let r = ctx
+                .parsec_run(&design, a, n, smt, 8.0)
+                .unwrap_or_else(|e| sim_failed("app", e));
             println!(
                 "{} x{n} on {} (SMT={smt}): ROI {} cycles, whole {} cycles",
                 args[2], design.name, r.roi_cycles, r.total_cycles

@@ -24,8 +24,14 @@ fn few_threads_favor_big_cores() {
     let d4b = by_name("4B").unwrap();
     let d20s = by_name("20s").unwrap();
     for kind in [WorkloadKind::Homogeneous, WorkloadKind::Heterogeneous] {
-        let b = ctx.mp_cell(&d4b, 2, kind, true).mean_stp();
-        let s = ctx.mp_cell(&d20s, 2, kind, true).mean_stp();
+        let b = ctx
+            .mp_cell(&d4b, 2, kind, true)
+            .expect("cell simulates")
+            .mean_stp();
+        let s = ctx
+            .mp_cell(&d20s, 2, kind, true)
+            .expect("cell simulates")
+            .mean_stp();
         assert!(
             b > s * 1.3,
             "{kind:?}: 4B ({b:.2}) should clearly beat 20s ({s:.2}) at 2 threads"
@@ -42,8 +48,14 @@ fn many_threads_keep_4b_competitive() {
     let d4b = by_name("4B").unwrap();
     let d20s = by_name("20s").unwrap();
     let kind = WorkloadKind::Heterogeneous;
-    let b = ctx.mp_cell(&d4b, 24, kind, true).mean_stp();
-    let s = ctx.mp_cell(&d20s, 24, kind, true).mean_stp();
+    let b = ctx
+        .mp_cell(&d4b, 24, kind, true)
+        .expect("cell simulates")
+        .mean_stp();
+    let s = ctx
+        .mp_cell(&d20s, 24, kind, true)
+        .expect("cell simulates")
+        .mean_stp();
     assert!(
         b > s * 0.55,
         "4B at 24 threads ({b:.2}) fell too far behind 20s ({s:.2})"
@@ -63,7 +75,11 @@ fn without_smt_heterogeneity_wins() {
     let avg = |d: &tlpsim::core::configs::Design| -> f64 {
         [2usize, 8, 16, 24]
             .iter()
-            .map(|&n| ctx.mp_cell(d, n, kind, false).mean_stp())
+            .map(|&n| {
+                ctx.mp_cell(d, n, kind, false)
+                    .expect("cell simulates")
+                    .mean_stp()
+            })
             .sum::<f64>()
             / 4.0
     };
@@ -86,7 +102,11 @@ fn smt_beats_heterogeneity() {
     let avg = |d: &tlpsim::core::configs::Design, smt: bool| -> f64 {
         [2usize, 8, 16, 24]
             .iter()
-            .map(|&n| ctx.mp_cell(d, n, kind, smt).mean_stp())
+            .map(|&n| {
+                ctx.mp_cell(d, n, kind, smt)
+                    .expect("cell simulates")
+                    .mean_stp()
+            })
             .sum::<f64>()
             / 4.0
     };
@@ -107,9 +127,12 @@ fn dynamic_oracle_dominates_but_4b_is_close() {
     let d4b = by_name("4B").unwrap();
     let kind = WorkloadKind::Heterogeneous;
     let n = 8;
-    let dyn_nosmt = dynamic_stp(ctx, n, kind, false);
-    let b = ctx.mp_cell(&d4b, n, kind, true).mean_stp();
-    let dyn_smt = dynamic_stp(ctx, n, kind, true);
+    let dyn_nosmt = dynamic_stp(ctx, n, kind, false).expect("oracle runs");
+    let b = ctx
+        .mp_cell(&d4b, n, kind, true)
+        .expect("cell simulates")
+        .mean_stp();
+    let dyn_smt = dynamic_stp(ctx, n, kind, true).expect("oracle runs");
     assert!(dyn_smt >= b - 1e-9, "dynamic+SMT must dominate 4B+SMT");
     assert!(
         b > dyn_nosmt * 0.7,
@@ -126,9 +149,18 @@ fn power_grows_with_thread_count_and_small_cores_use_less() {
     let d4b = by_name("4B").unwrap();
     let d20s = by_name("20s").unwrap();
     let kind = WorkloadKind::Homogeneous;
-    let p4b_1 = ctx.mp_cell(&d4b, 1, kind, true).mean_power();
-    let p4b_24 = ctx.mp_cell(&d4b, 24, kind, true).mean_power();
-    let p20s_1 = ctx.mp_cell(&d20s, 1, kind, true).mean_power();
+    let p4b_1 = ctx
+        .mp_cell(&d4b, 1, kind, true)
+        .expect("cell simulates")
+        .mean_power();
+    let p4b_24 = ctx
+        .mp_cell(&d4b, 24, kind, true)
+        .expect("cell simulates")
+        .mean_power();
+    let p20s_1 = ctx
+        .mp_cell(&d20s, 1, kind, true)
+        .expect("cell simulates")
+        .mean_power();
     assert!(p4b_24 > p4b_1, "more threads must cost more power");
     assert!(
         p20s_1 < p4b_1,

@@ -14,7 +14,7 @@ const BUDGET: u64 = 10_000;
 #[test]
 fn heterogeneous_chip_end_to_end() {
     let mut cores = vec![CoreConfig::big()];
-    cores.extend(std::iter::repeat(CoreConfig::medium()).take(6));
+    cores.extend(std::iter::repeat_n(CoreConfig::medium(), 6));
     let chip = ChipConfig::heterogeneous(&cores, 2.66);
 
     let profiles = spec::all();
@@ -77,7 +77,7 @@ fn heterogeneous_chip_end_to_end() {
 #[test]
 fn scheduling_affects_measured_performance() {
     let mut cores = vec![CoreConfig::big()];
-    cores.extend(std::iter::repeat(CoreConfig::medium()).take(2));
+    cores.extend(std::iter::repeat_n(CoreConfig::medium(), 2));
     let chip = ChipConfig::heterogeneous(&cores, 2.66);
     let p = spec::hmmer_like();
 

@@ -1,7 +1,11 @@
-//! Property-based tests (proptest) on the core data structures and
+//! Randomized property tests on the core data structures and
 //! invariants of the simulator substrates.
-
-use proptest::prelude::*;
+//!
+//! These used to be proptest properties; they are now driven by the
+//! in-repo deterministic [`SplitMix64`] generator so the test suite
+//! builds with no external dependencies (offline-friendly, see
+//! DESIGN.md §7). Each property samples a fixed number of random
+//! cases from a fixed seed — failures therefore reproduce exactly.
 
 use tlpsim::mem::{Cache, CacheConfig, LineAddr};
 use tlpsim::workloads::{
@@ -9,105 +13,140 @@ use tlpsim::workloads::{
     SplitMix64, ThreadCountDistribution,
 };
 
-proptest! {
-    /// A cache never holds more lines than its capacity, whatever the
-    /// access sequence.
-    #[test]
-    fn cache_capacity_invariant(
-        lines in proptest::collection::vec(0u64..4096, 1..600),
-        ways in 1u32..8,
-    ) {
+/// Number of random cases per property.
+const CASES: usize = 48;
+
+/// A cache never holds more lines than its capacity, whatever the
+/// access sequence.
+#[test]
+fn cache_capacity_invariant() {
+    let mut rng = SplitMix64::new(0x11);
+    for _ in 0..CASES {
+        let ways = 1 + rng.below(7) as u32;
+        let len = 1 + rng.below(599) as usize;
         let sets = 16u64;
         let capacity = sets * ways as u64 * 64;
         let mut c = Cache::new(CacheConfig::new(capacity, ways, 1));
-        for &l in &lines {
-            c.access(LineAddr(l), l % 3 == 0);
+        for _ in 0..len {
+            let l = rng.below(4096);
+            c.access(LineAddr(l), l.is_multiple_of(3));
         }
-        prop_assert!(c.resident_lines() <= capacity / 64);
+        assert!(c.resident_lines() <= capacity / 64);
     }
+}
 
-    /// Immediately re-accessing any line hits (LRU never evicts the
-    /// most recently used line).
-    #[test]
-    fn cache_mru_hit(lines in proptest::collection::vec(0u64..10_000, 1..200)) {
+/// Immediately re-accessing any line hits (LRU never evicts the most
+/// recently used line).
+#[test]
+fn cache_mru_hit() {
+    let mut rng = SplitMix64::new(0x22);
+    for _ in 0..CASES {
+        let len = 1 + rng.below(199) as usize;
         let mut c = Cache::new(CacheConfig::new(4096, 4, 1));
-        for &l in &lines {
-            c.access(LineAddr(l), false);
-            prop_assert!(c.contains(LineAddr(l)));
-            let out = c.access(LineAddr(l), false);
-            prop_assert!(out.hit);
+        for _ in 0..len {
+            let l = LineAddr(rng.below(10_000));
+            c.access(l, false);
+            assert!(c.contains(l));
+            let out = c.access(l, false);
+            assert!(out.hit);
         }
     }
+}
 
-    /// The PRNG respects its bound and is deterministic per seed.
-    #[test]
-    fn rng_bound_and_determinism(seed in any::<u64>(), n in 1u64..1_000_000) {
+/// The PRNG respects its bound and is deterministic per seed.
+#[test]
+fn rng_bound_and_determinism() {
+    let mut rng = SplitMix64::new(0x33);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let n = 1 + rng.below(1_000_000 - 1);
         let mut a = SplitMix64::new(seed);
         let mut b = SplitMix64::new(seed);
         for _ in 0..50 {
             let x = a.below(n);
-            prop_assert!(x < n);
-            prop_assert_eq!(x, b.below(n));
+            assert!(x < n);
+            assert_eq!(x, b.below(n));
         }
     }
+}
 
-    /// Thread-count distributions are normalized and mirroring is an
-    /// involution.
-    #[test]
-    fn distribution_invariants(max in 1usize..64) {
+/// Thread-count distributions are normalized and mirroring is an
+/// involution.
+#[test]
+fn distribution_invariants() {
+    for max in 1usize..64 {
         let d = ThreadCountDistribution::datacenter(max);
         let total: f64 = d.iter().map(|(_, p)| p).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9, "max={max}: total={total}");
         let m = ThreadCountDistribution::mirrored_datacenter(max);
         for n in 1..=max {
-            prop_assert!((d.prob(n) - m.prob(max + 1 - n)).abs() < 1e-12);
+            assert!((d.prob(n) - m.prob(max + 1 - n)).abs() < 1e-12);
         }
     }
+}
 
-    /// Balanced-random mixes contain every benchmark equally often.
-    #[test]
-    fn mixes_are_balanced(n in 1usize..25, seed in any::<u64>()) {
+/// Balanced-random mixes contain every benchmark equally often.
+#[test]
+fn mixes_are_balanced() {
+    let mut rng = SplitMix64::new(0x44);
+    for _ in 0..CASES {
+        let n = 1 + rng.below(24) as usize;
+        let seed = rng.next_u64();
         let mixes = heterogeneous_mixes(12, n, seed);
         let mut counts = [0usize; 12];
         for m in &mixes {
-            prop_assert_eq!(m.len(), n);
-            for &b in m { counts[b] += 1; }
+            assert_eq!(m.len(), n);
+            for &b in m {
+                counts[b] += 1;
+            }
         }
         let expected = n * mixes.len() / 12;
-        prop_assert!(counts.iter().all(|&c| c == expected));
+        assert!(counts.iter().all(|&c| c == expected), "n={n} seed={seed}");
     }
+}
 
-    /// Generated instruction streams never reference producers older
-    /// than the stream itself, and memory addresses stay inside the
-    /// thread's private space unless shared.
-    #[test]
-    fn stream_invariants(seed in any::<u64>(), space in 0u64..8) {
+/// Generated instruction streams never reference producers older than
+/// the stream itself, and memory addresses stay inside the thread's
+/// private space unless shared.
+#[test]
+fn stream_invariants() {
+    let mut rng = SplitMix64::new(0x55);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let space = rng.below(8);
         let p = spec::gcc_like();
         let s = InstrStream::new(&p, space, seed);
         for (i, instr) in s.take(300).enumerate() {
-            prop_assert!(u64::from(instr.src1_dist) <= i as u64);
-            prop_assert!(u64::from(instr.src2_dist) <= i as u64);
+            assert!(u64::from(instr.src1_dist) <= i as u64);
+            assert!(u64::from(instr.src2_dist) <= i as u64);
             if instr.kind.is_mem() {
                 let base = space * tlpsim::workloads::generator::THREAD_SPACE_BYTES;
-                prop_assert!(instr.addr.0 >= base);
-                prop_assert!(instr.addr.0 < base + tlpsim::workloads::generator::THREAD_SPACE_BYTES);
+                assert!(instr.addr.0 >= base);
+                assert!(instr.addr.0 < base + tlpsim::workloads::generator::THREAD_SPACE_BYTES);
             }
         }
     }
+}
 
-    /// Any profile built from in-range parameters validates, and its
-    /// stream is deterministic.
-    #[test]
-    fn profile_space_is_safe(
-        near in 0.0f64..0.9,
-        hot_frac in 0.1f64..0.9,
-        stream_frac in 0.0f64..0.1,
-        mispredict in 0.0f64..0.2,
-    ) {
+/// Any profile built from in-range parameters validates, and its
+/// stream is deterministic.
+#[test]
+fn profile_space_is_safe() {
+    let mut rng = SplitMix64::new(0x66);
+    for _ in 0..CASES {
+        let near = 0.9 * rng.next_f64();
+        let hot_frac = 0.1 + 0.8 * rng.next_f64();
+        let stream_frac = 0.1 * rng.next_f64();
+        let mispredict = 0.2 * rng.next_f64();
         let p = BenchmarkProfile {
             name: "prop",
             mix: InstrMix::typical_int(),
-            dep: DepProfile { near_frac: near, near_max: 2, far_max: 48, two_src_frac: 0.4 },
+            dep: DepProfile {
+                near_frac: near,
+                near_max: 2,
+                far_max: 48,
+                two_src_frac: 0.4,
+            },
             mem: MemProfile {
                 hot_bytes: 8 * 1024,
                 cold_bytes: 1024 * 1024,
@@ -119,21 +158,26 @@ proptest! {
             code_bytes: 8 * 1024,
             code_jump_prob: 0.02,
         };
-        prop_assert!(p.validate().is_ok());
+        assert!(p.validate().is_ok());
         let a: Vec<_> = InstrStream::new(&p, 0, 7).take(100).collect();
         let b: Vec<_> = InstrStream::new(&p, 0, 7).take(100).collect();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// STP and ANTT metric identities hold for arbitrary positive inputs.
-    #[test]
-    fn metric_identities(ipcs in proptest::collection::vec(0.01f64..4.0, 1..24)) {
-        use tlpsim::core::metrics::{antt, harmonic_mean, arithmetic_mean, stp};
+/// STP and ANTT metric identities hold for arbitrary positive inputs.
+#[test]
+fn metric_identities() {
+    use tlpsim::core::metrics::{antt, arithmetic_mean, harmonic_mean, stp};
+    let mut rng = SplitMix64::new(0x77);
+    for _ in 0..CASES {
+        let len = 1 + rng.below(23) as usize;
+        let ipcs: Vec<f64> = (0..len).map(|_| 0.01 + 3.99 * rng.next_f64()).collect();
         // Running each program at its isolated speed: STP = n, ANTT = 1.
         let pairs: Vec<(f64, f64)> = ipcs.iter().map(|&x| (x, x)).collect();
-        prop_assert!((stp(&pairs) - ipcs.len() as f64).abs() < 1e-9);
-        prop_assert!((antt(&pairs) - 1.0).abs() < 1e-9);
+        assert!((stp(&pairs) - ipcs.len() as f64).abs() < 1e-9);
+        assert!((antt(&pairs) - 1.0).abs() < 1e-9);
         // Harmonic mean never exceeds arithmetic mean.
-        prop_assert!(harmonic_mean(&ipcs) <= arithmetic_mean(&ipcs) + 1e-12);
+        assert!(harmonic_mean(&ipcs) <= arithmetic_mean(&ipcs) + 1e-12);
     }
 }
