@@ -38,15 +38,13 @@ use crate::SimScale;
 pub const CACHE_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit checksum (tiny, dependency-free, good enough to catch
-/// torn writes and corruption in a line-oriented cache).
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// torn writes and corruption in a line-oriented cache). The shared
+/// implementation lives in `tlpsim-mem` alongside the [`FastHasher`]
+/// used for hot-path hash maps; re-exported here so existing callers
+/// and the on-disk format stay unchanged.
+///
+/// [`FastHasher`]: tlpsim_mem::FastHasher
+pub use tlpsim_mem::fnv1a64;
 
 /// One replayable cache record.
 #[derive(Debug, Clone, PartialEq)]

@@ -65,6 +65,14 @@ impl Bus {
         done
     }
 
+    /// Next-event surface: the cycle at which the bus queue is fully
+    /// drained (the last queued transfer completes). At or after this
+    /// cycle the bus's state can no longer influence any in-flight
+    /// request; before it, an idle chip may still have data moving.
+    pub fn next_free_at(&self) -> Cycle {
+        self.next_free
+    }
+
     /// Total line transfers performed.
     pub fn transfers(&self) -> u64 {
         self.transfers

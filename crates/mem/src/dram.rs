@@ -64,6 +64,13 @@ impl Dram {
         done
     }
 
+    /// Next-event surface: the cycle at which every bank queue is
+    /// drained (the busiest bank's next-free time). At or after this
+    /// cycle DRAM state can no longer influence any in-flight request.
+    pub fn next_free_at(&self) -> Cycle {
+        self.next_free.iter().copied().max().unwrap_or(0)
+    }
+
     /// Total accesses served.
     pub fn accesses(&self) -> u64 {
         self.accesses

@@ -1,0 +1,157 @@
+//! Dependency-free FNV-1a hashing, shared across the workspace.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3) is keyed and
+//! DoS-resistant, which the simulator does not need: every map in the
+//! hot path is keyed by small trusted integers (line addresses, barrier
+//! and lock ids). SipHash showed up on every memory access in profiles,
+//! so the in-flight fill maps and the engine's barrier/lock tables use
+//! [`FastMap`] instead — a `HashMap` driven by [`FastHasher`], a
+//! fixed-key FNV-1a/FxHash-style mixer.
+//!
+//! The byte-stream [`fnv1a64`] function is the same algorithm and is
+//! the checksum used by the on-disk result cache (`tlpsim-core`
+//! `diskcache`); it lives here so the workspace has exactly one copy.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV1A64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV1A64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of a byte slice (tiny, dependency-free, good
+/// enough to catch torn writes and corruption in a line-oriented cache,
+/// and to drive hash maps keyed by trusted data).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV1A64_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV1A64_PRIME);
+    }
+    h
+}
+
+/// A fast, fixed-key hasher for trusted integer keys.
+///
+/// Byte slices are hashed with byte-at-a-time FNV-1a; fixed-width
+/// integer writes (the common case: `LineAddr`, `u32` ids) take a
+/// single xor-multiply round, FxHash-style. The multiply is by the FNV
+/// prime, which is odd, so the low bits — the ones `HashMap` uses to
+/// pick a bucket — remain a bijection of the key's low bits and
+/// sequential keys never collide.
+#[derive(Debug, Clone)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl Default for FastHasher {
+    fn default() -> Self {
+        FastHasher {
+            state: FNV1A64_OFFSET,
+        }
+    }
+}
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.state = (self.state ^ v).wrapping_mul(FNV1A64_PRIME);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV1A64_PRIME);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`] (stateless, so maps hash
+/// identically across processes and runs).
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` using [`FastHasher`] — drop-in for `std::HashMap` on
+/// hot paths keyed by trusted integers.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hasher_byte_stream_matches_fnv1a64() {
+        let mut h = FastHasher::default();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn sequential_u64_keys_get_distinct_low_bits() {
+        use std::hash::Hasher;
+        let low = |n: u64| {
+            let mut h = FastHasher::default();
+            h.write_u64(n);
+            h.finish() & 0xfff
+        };
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..4096u64 {
+            seen.insert(low(i));
+        }
+        assert_eq!(
+            seen.len(),
+            4096,
+            "odd-multiplier low bits must be a bijection"
+        );
+    }
+
+    #[test]
+    fn fast_map_works_as_a_map() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&37), Some(&74));
+    }
+}

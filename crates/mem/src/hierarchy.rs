@@ -8,12 +8,11 @@
 //! line that is still in flight waits for the first fill rather than
 //! paying a second full miss.
 
-use std::collections::HashMap;
-
 use crate::addr::{Addr, LineAddr};
 use crate::bus::{Bus, BusConfig};
 use crate::cache::{Cache, CacheConfig};
 use crate::dram::{Dram, DramConfig};
+use crate::hash::FastMap;
 use crate::stats::{CoreMemStats, MemStats};
 use crate::{CoreId, Cycle};
 
@@ -154,7 +153,7 @@ struct PrivateCaches {
     l1d: Cache,
     l2: Cache,
     /// In-flight fills: line -> cycle the data arrives at this core.
-    mshr: HashMap<LineAddr, Cycle>,
+    mshr: FastMap<LineAddr, Cycle>,
     stats: CoreMemStats,
 }
 
@@ -164,7 +163,7 @@ impl PrivateCaches {
             l1i: Cache::new(cfg.l1i),
             l1d: Cache::new(cfg.l1d),
             l2: Cache::new(cfg.l2),
-            mshr: HashMap::new(),
+            mshr: FastMap::default(),
             stats: CoreMemStats::default(),
         }
     }
@@ -185,10 +184,20 @@ pub struct MemorySystem {
     cores: Vec<PrivateCaches>,
     llc: Cache,
     /// In-flight LLC fills: line -> cycle the data arrives at the LLC.
-    llc_pending: HashMap<LineAddr, Cycle>,
+    llc_pending: FastMap<LineAddr, Cycle>,
     dram: Dram,
     bus: Bus,
     crossbar_latency: u64,
+    /// Bumped whenever a new in-flight fill is recorded; lets callers
+    /// cache [`Self::next_event`] results (see its docs).
+    fills_version: u64,
+    /// Arrival cycles of every recorded fill, min-first. Stale tops
+    /// (`<= now`) are pruned lazily in [`Self::next_event`], which
+    /// makes the query O(1) amortized instead of a walk over the
+    /// MSHR/LLC-pending maps. The heap may retain times for entries
+    /// the maps have already pruned — phantom events only shorten a
+    /// fast-forward jump, never lengthen one (one-sided safety).
+    fill_events: std::collections::BinaryHeap<std::cmp::Reverse<Cycle>>,
 }
 
 impl MemorySystem {
@@ -197,10 +206,12 @@ impl MemorySystem {
         MemorySystem {
             cores: cfg.per_core.iter().map(PrivateCaches::new).collect(),
             llc: Cache::new(cfg.llc),
-            llc_pending: HashMap::new(),
+            llc_pending: FastMap::default(),
             dram: Dram::new(&cfg.dram, cfg.freq_ghz),
             bus: Bus::new(&cfg.bus, cfg.freq_ghz),
             crossbar_latency: cfg.crossbar_latency,
+            fills_version: 0,
+            fill_events: std::collections::BinaryHeap::new(),
         }
     }
 
@@ -334,6 +345,9 @@ impl MemorySystem {
         let dram_done = self.dram.access(line, t_mem);
         let data_at_llc = self.bus.transfer(dram_done);
         self.llc_pending.insert(line, data_at_llc);
+        if data_at_llc > now {
+            self.fill_events.push(std::cmp::Reverse(data_at_llc));
+        }
         if self.llc_pending.len() > 256 {
             self.llc_pending.retain(|_, &mut t| t > now);
         }
@@ -349,6 +363,12 @@ impl MemorySystem {
         let pc = &mut self.cores[core];
         pc.mshr.insert(line, complete);
         pc.prune_mshr(now);
+        if complete > now {
+            self.fill_events.push(std::cmp::Reverse(complete));
+        }
+        // Pruning only drops stale (<= now) entries, which next_event
+        // ignores anyway; only the insert invalidates cached results.
+        self.fills_version += 1;
     }
 
     fn writeback_to_l2(&mut self, core: CoreId, victim: LineAddr, now: Cycle) {
@@ -402,6 +422,47 @@ impl MemorySystem {
         self.llc.reset_counters();
     }
 
+    /// Next-event surface for the whole memory system: the earliest
+    /// cycle strictly after `now` at which an in-flight fill arrives
+    /// anywhere in the hierarchy (a per-core MSHR fill or an LLC fill),
+    /// or `None` if nothing is in flight.
+    ///
+    /// Contract (see DESIGN.md §9): a component must surface every
+    /// future cycle at which its state change becomes visible to a core
+    /// *without* a new request. Fill arrivals qualify — a later access
+    /// to the line observes the arrival time. Bus/DRAM queue positions
+    /// do not: they only matter on the next request, which is itself a
+    /// core-side event, so they are exposed separately via
+    /// [`Bus::next_free_at`]/[`Dram::next_free_at`] (diagnostics) but
+    /// deliberately excluded here — including them would cap
+    /// fast-forward jumps on state no core can observe.
+    ///
+    /// Entries whose arrival cycle is `<= now` are stale (pruned
+    /// lazily) and are ignored.
+    ///
+    /// The result may be cached by the caller: it only changes when a
+    /// new fill is recorded — observable via [`Self::fills_version`] —
+    /// or when `now` reaches the returned cycle.
+    ///
+    /// O(1) amortized: fill times live in a min-heap maintained at
+    /// record time; each query pops the stale prefix and peeks.
+    pub fn next_event(&mut self, now: Cycle) -> Option<Cycle> {
+        while let Some(&std::cmp::Reverse(t)) = self.fill_events.peek() {
+            if t > now {
+                return Some(t);
+            }
+            self.fill_events.pop();
+        }
+        None
+    }
+
+    /// Monotonic counter bumped whenever a new in-flight fill is
+    /// recorded. A cached [`Self::next_event`] result stays valid while
+    /// this is unchanged and `now` has not reached the cached cycle.
+    pub fn fills_version(&self) -> u64 {
+        self.fills_version
+    }
+
     /// Snapshot of all statistics.
     pub fn stats(&self) -> MemStats {
         let (llc_hits, llc_misses, _) = self.llc.counters();
@@ -450,6 +511,35 @@ mod tests {
         // Long after the fill, it's a plain L1 hit.
         let r3 = m.access(0, AccessKind::Load, Addr(0x10000), 100_000);
         assert_eq!(r3.complete_at, 100_000 + 3);
+    }
+
+    #[test]
+    fn next_event_tracks_inflight_fills() {
+        let mut m = small_chip();
+        // Idle system: nothing in flight, no events.
+        assert_eq!(m.next_event(0), None);
+        let r1 = m.access(0, AccessKind::Load, Addr(0x10000), 0);
+        // The fill arrival is the earliest (only) future event. Fills
+        // may land in a cache a few cycles before the core-visible
+        // completion (return crossbar hop), so the event may lead
+        // `complete_at` — never trail it (one-sided safety).
+        let e0 = m.next_event(0).expect("fill in flight");
+        assert!(
+            e0 > 0 && e0 <= r1.complete_at,
+            "event {e0} vs {}",
+            r1.complete_at
+        );
+        // A second, later miss from the other core: earliest still wins.
+        let r2 = m.access(1, AccessKind::Load, Addr(0x50000), 10);
+        assert!(r2.complete_at > r1.complete_at);
+        assert_eq!(m.next_event(0), Some(e0));
+        // Once `now` passes an arrival, it stops being an event.
+        let e1 = m.next_event(r1.complete_at).expect("second fill in flight");
+        assert!(e1 > r1.complete_at && e1 <= r2.complete_at);
+        assert_eq!(m.next_event(r2.complete_at), None);
+        // Queue-drain diagnostics are exposed but never folded in.
+        assert!(m.bus.next_free_at() > 0);
+        assert!(m.dram.next_free_at() > 0);
     }
 
     #[test]

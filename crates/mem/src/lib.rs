@@ -34,6 +34,7 @@ mod addr;
 mod bus;
 mod cache;
 mod dram;
+mod hash;
 mod hierarchy;
 mod stats;
 
@@ -41,6 +42,7 @@ pub use addr::{Addr, LineAddr, LINE_BYTES};
 pub use bus::{Bus, BusConfig};
 pub use cache::{AccessOutcome, Cache, CacheConfig};
 pub use dram::{Dram, DramConfig};
+pub use hash::{fnv1a64, FastBuildHasher, FastHasher, FastMap};
 pub use hierarchy::{
     AccessKind, AccessResult, HitLevel, MemoryConfig, MemorySystem, PrivateCacheConfig,
 };

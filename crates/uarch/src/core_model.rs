@@ -20,7 +20,8 @@
 //!   skipping stalled contexts).
 //! * **Commit**: shared `width`, round-robin across contexts.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use tlpsim_mem::{AccessKind, Addr, Cycle, MemorySystem};
 use tlpsim_workloads::InstrKind;
@@ -79,6 +80,18 @@ pub(crate) struct Slot {
     /// Sequence number of an in-flight mispredicted branch gating fetch.
     awaiting_redirect: Option<u64>,
     rob: VecDeque<RobEntry>,
+    /// Sequence numbers of not-yet-issued ROB entries, in program
+    /// order. Keeps the issue scan O(window) instead of O(ROB): with
+    /// deep memory-level parallelism the ROB is dominated by issued
+    /// in-flight entries the scan would otherwise re-walk every cycle.
+    /// Entries are consecutive per-thread seqs, so a seq maps to its
+    /// ROB index as `seq - rob.front().seq`.
+    unissued: VecDeque<u64>,
+    /// Completion times of issued entries, min-first. Stale values
+    /// (`<= now`) are pruned at each scan; anything later belongs to an
+    /// in-flight instruction (commit requires `done_at <= now`), so the
+    /// heap top is exactly the old full-walk `next_completion`.
+    done_heap: BinaryHeap<Reverse<Cycle>>,
     pub(crate) pending: Option<Pending>,
     /// New work was dispatched since the last issue scan.
     issue_dirty: bool,
@@ -96,6 +109,8 @@ impl Slot {
             fetch_blocked_until: 0,
             awaiting_redirect: None,
             rob: VecDeque::new(),
+            unissued: VecDeque::new(),
+            done_heap: BinaryHeap::new(),
             pending: None,
             issue_dirty: true,
             issue_wake: 0,
@@ -129,6 +144,10 @@ impl Slot {
     /// Reset per-residency state after a context switch.
     pub(crate) fn on_switch_in(&mut self, now: Cycle, switch_penalty: u64, quantum: u64) {
         debug_assert!(self.rob.is_empty());
+        debug_assert!(self.unissued.is_empty());
+        // Only stale completion times can remain (an empty ROB has
+        // nothing in flight); drop them rather than pruning lazily.
+        self.done_heap.clear();
         self.fetch_blocked_until = now + switch_penalty;
         self.awaiting_redirect = None;
         self.quantum_left = quantum;
@@ -149,6 +168,12 @@ pub struct CoreModel {
     rr_issue: usize,
     rr_commit: usize,
     stats: CoreStats,
+    /// Cached per-slot [`next_event`](Self::next_event) results.
+    ev_cache: Vec<Cycle>,
+    /// Bit `i` set = `ev_cache[i]` is valid: slot `i` has not been
+    /// mutated since the value was computed (its event can only have
+    /// *expired*, which the `> now` check at use-site handles).
+    ev_valid: u64,
     #[allow(dead_code)] // reserved for engine-side quantum refresh
     quantum: u64,
 }
@@ -156,10 +181,13 @@ pub struct CoreModel {
 impl CoreModel {
     /// Build an idle core.
     pub fn new(cfg: CoreConfig, core_id: usize, quantum: u64) -> Self {
-        let slots = (0..cfg.smt_contexts).map(|_| Slot::new()).collect();
+        let slots: Vec<Slot> = (0..cfg.smt_contexts).map(|_| Slot::new()).collect();
+        debug_assert!(slots.len() <= 64, "event-cache bitmask is u64");
         CoreModel {
             cfg,
             core_id,
+            ev_cache: vec![0; slots.len()],
+            ev_valid: 0,
             slots,
             rr_fetch: 0,
             rr_issue: 0,
@@ -167,6 +195,15 @@ impl CoreModel {
             stats: CoreStats::default(),
             quantum,
         }
+    }
+
+    /// Drop every cached next-event result. Called by the engine
+    /// whenever chip-global inputs to the per-slot scans change:
+    /// thread-state transitions (barrier/lock wakeups alter fetch
+    /// eligibility and the active-context count behind the ROB
+    /// partition cap) and slot residency changes (context switches).
+    pub(crate) fn invalidate_events(&mut self) {
+        self.ev_valid = 0;
     }
 
     /// The core's configuration.
@@ -241,14 +278,18 @@ impl CoreModel {
         self.issue(now, mem, threads);
         self.fetch_dispatch(now, mem, threads, cap);
 
-        // Time-sharing quantum accounting.
-        for s in self.slots.iter_mut() {
+        // Time-sharing quantum accounting. The decrement itself keeps
+        // the cached `now + quantum_left` event invariant; only the
+        // Switch transition invalidates.
+        let mut inv = 0u64;
+        for (i, s) in self.slots.iter_mut().enumerate() {
             if s.threads.len() > 1 && s.pending.is_none() {
                 if let Some(t) = s.threads.front() {
                     if threads[*t].state == ProgramState::Runnable {
                         s.quantum_left = s.quantum_left.saturating_sub(1);
                         if s.quantum_left == 0 {
                             s.pending = Some(Pending::Switch);
+                            inv |= 1 << i;
                         }
                     }
                 }
@@ -259,6 +300,7 @@ impl CoreModel {
         for (i, s) in self.slots.iter_mut().enumerate() {
             if let Some(p) = s.pending {
                 if s.rob.is_empty() {
+                    inv |= 1 << i;
                     if let Some(tid) = s.resident() {
                         s.pending = None;
                         events.push(Drained {
@@ -273,8 +315,209 @@ impl CoreModel {
                 }
             }
         }
+        self.ev_valid &= !inv;
 
         let _ = nslots;
+    }
+
+    /// Next-event surface for the fast-forwarding engine: the earliest
+    /// cycle `>= now + 1` at which this core can *do or change
+    /// anything* — commit, issue, fetch/dispatch, drain, set a
+    /// time-sharing switch pending, or flip a context's
+    /// fetch-eligibility (which feeds `fetch_idle_cycles`). Returns
+    /// `Cycle::MAX` if the core will never act again without an
+    /// external event (thread wakeup).
+    ///
+    /// The contract this upholds (DESIGN.md §9): for every cycle `c`
+    /// with `now < c < next_event(now)`, running [`cycle`](Self::cycle)
+    /// at `c` mutates nothing except the bulk-accumulable per-cycle
+    /// counters and round-robin pointers that
+    /// [`fast_forward`](Self::fast_forward) replays in closed form.
+    /// Underestimating (returning an earlier cycle than necessary) only
+    /// costs dense steps; overestimating would break bit-identity, so
+    /// every uncertain case returns `now + 1`.
+    ///
+    /// Per-slot results are cached (`ev_cache`/`ev_valid`): quiescent
+    /// windows on memory-bound chips average only a handful of cycles,
+    /// so the probe runs up to once per cycle and an O(ROB) rescan of
+    /// every slot each time would dominate the fast-forward savings. A
+    /// cached value stays exact until the slot itself is mutated
+    /// (commit/issue/fetch/drain/switch — those sites clear the valid
+    /// bit), chip-global inputs change (the engine calls
+    /// [`invalidate_events`](Self::invalidate_events)), or `now`
+    /// reaches it. The one per-cycle mutation that does *not*
+    /// invalidate is the time-sharing quantum tick: it decrements
+    /// `quantum_left` exactly once per eligible cycle, so the cached
+    /// absolute expiry cycle `now + quantum_left` is invariant.
+    pub(crate) fn next_event(&mut self, now: Cycle, threads: &[ThreadCtl]) -> Cycle {
+        // A fully unpopulated core only ticks its cycle counter.
+        if self.slots.iter().all(|s| s.threads.is_empty()) {
+            return Cycle::MAX;
+        }
+        let active = self.active_contexts(threads);
+        let cap = self.partition_cap(active);
+        let shared_rob = self.cfg.rob_sharing == RobSharing::Shared;
+        let rob_size = self.cfg.rob_size as usize;
+        let total_occ = if shared_rob {
+            self.total_occupancy()
+        } else {
+            0
+        };
+        let mut ev = Cycle::MAX;
+        for i in 0..self.slots.len() {
+            let bit = 1u64 << i;
+            let e = if self.ev_valid & bit != 0 && self.ev_cache[i] > now {
+                self.ev_cache[i]
+            } else {
+                let e = Self::slot_event(
+                    &self.slots[i],
+                    now,
+                    threads,
+                    cap,
+                    shared_rob,
+                    total_occ,
+                    rob_size,
+                );
+                self.ev_cache[i] = e;
+                self.ev_valid |= bit;
+                e
+            };
+            ev = ev.min(e);
+            if ev <= now + 1 {
+                return now + 1;
+            }
+        }
+        ev
+    }
+
+    /// The earliest future event of a single slot (see
+    /// [`next_event`](Self::next_event) for the contract). O(1): no
+    /// ROB walk.
+    fn slot_event(
+        s: &Slot,
+        now: Cycle,
+        threads: &[ThreadCtl],
+        cap: usize,
+        shared_rob: bool,
+        total_occ: usize,
+        rob_size: usize,
+    ) -> Cycle {
+        let Some(tid) = s.resident() else {
+            return Cycle::MAX;
+        };
+        // A drained pending resolves next cycle (should already have
+        // fired this cycle; be conservative).
+        if s.pending.is_some() && s.rob.is_empty() {
+            return now + 1;
+        }
+        let t = &threads[tid];
+        if let Some(e) = s.rob.front() {
+            if e.issued && e.done_at <= now {
+                // Head already complete: commits next cycle.
+                return now + 1;
+            }
+        }
+        if s.pending.is_none()
+            && t.state == ProgramState::Runnable
+            && s.fetch_blocked_until <= now
+            && s.rob.len() < cap
+            && (!shared_rob || total_occ < rob_size)
+        {
+            // Would stage/dispatch (or at least touch the I-cache
+            // or set a block pending) next cycle.
+            return now + 1;
+        }
+        let mut ev = Cycle::MAX;
+        // --- Commit: only the head can commit, so its completion is
+        // the commit-unblock event. Deeper completions matter only
+        // through dependence wakeups, which `issue_wake` tracks. ---
+        if let Some(e) = s.rob.front() {
+            if e.issued {
+                // Not yet done (the done case returned above).
+                ev = ev.min(e.done_at);
+            }
+        }
+        // --- Issue: mirror the dense scan gate exactly. The dense
+        // stepper skips a slot's issue scan while `!issue_dirty &&
+        // issue_wake > now`, so inside that span the scan neither runs
+        // nor mutates anything; the first cycle the gate passes is the
+        // event. Because jumps never cross that cycle, both engines
+        // keep identical `issue_wake`/`issue_dirty` state. `issue_wake
+        // <= now` can linger when the shared issue budget ran out
+        // before the RR rotation reached this slot — the scan it is
+        // owed may happen next cycle. ---
+        if s.issue_dirty || s.issue_wake <= now {
+            return now + 1;
+        }
+        ev = ev.min(s.issue_wake);
+        // --- Fetch/dispatch ---
+        // The dispatch-next-cycle case (room + unblocked) returned
+        // `now + 1` in the cheap probe above; what's left is the
+        // unblock time itself.
+        if s.pending.is_none() && t.state == ProgramState::Runnable {
+            if s.fetch_blocked_until > now {
+                // Fetch resumes (I-cache fill, redirect, switch
+                // penalty) — or, with the partition full, the slot
+                // merely becomes fetch-*eligible* at this cycle,
+                // which flips the core's `fetch_idle_cycles`
+                // accounting. Either way it is an event. MAX while
+                // awaiting a redirect: the gating branch's issue is
+                // caught above.
+                ev = ev.min(s.fetch_blocked_until);
+            }
+            // Time-sharing quantum tick runs every such cycle and
+            // sets a Switch pending when it hits zero.
+            if s.threads.len() > 1 {
+                ev = ev.min(now + s.quantum_left.max(1));
+            }
+        }
+        ev
+    }
+
+    /// Replay `span` provably-idle cycles `(now, now + span]` in bulk:
+    /// exactly the per-cycle mutations [`cycle`](Self::cycle) performs
+    /// on a cycle where nothing can commit, issue, dispatch, or drain
+    /// (see [`next_event`](Self::next_event)). Must only be called with
+    /// `span < next_event(now) - now`.
+    pub(crate) fn fast_forward(&mut self, now: Cycle, span: Cycle, threads: &[ThreadCtl]) {
+        self.stats.cycles += span;
+        // Fully unpopulated core: `cycle` early-returns after the cycle
+        // counter; no RR advance, no busy accounting.
+        if self.slots.iter().all(|s| s.threads.is_empty()) {
+            return;
+        }
+        let active = self.active_contexts(threads) as u64;
+        if active > 0 {
+            self.stats.busy_cycles += span;
+            self.stats.active_ctx_cycles += active * span;
+        }
+        // With no grants, each arbiter pointer advances one slot per
+        // cycle (the `None => start + 1` arm of commit/issue/fetch).
+        let nslots = self.slots.len();
+        let step = (span % nslots as u64) as usize;
+        self.rr_commit = (self.rr_commit + step) % nslots;
+        self.rr_issue = (self.rr_issue + step) % nslots;
+        self.rr_fetch = (self.rr_fetch + step) % nslots;
+        let mut any_runnable = false;
+        for s in self.slots.iter_mut() {
+            let Some(tid) = s.resident() else { continue };
+            if s.pending.is_none() && threads[tid].state == ProgramState::Runnable {
+                if s.fetch_blocked_until <= now {
+                    // Fetch-eligible (but partition-full) all span long.
+                    any_runnable = true;
+                }
+                if s.threads.len() > 1 {
+                    // Quantum ticks every such cycle; next_event capped
+                    // the span before it reaches zero.
+                    debug_assert!(s.quantum_left > span);
+                    s.quantum_left = s.quantum_left.saturating_sub(span);
+                }
+            }
+        }
+        if any_runnable {
+            // Eligible context(s) existed but nothing dispatched.
+            self.stats.fetch_idle_cycles += span;
+        }
     }
 
     fn commit(&mut self, now: Cycle, threads: &mut [ThreadCtl]) {
@@ -282,6 +525,7 @@ impl CoreModel {
         let nslots = self.slots.len();
         let start = self.rr_commit;
         let mut last_granted = None;
+        let mut inv = 0u64;
         for k in 0..nslots {
             if budget == 0 {
                 break;
@@ -314,8 +558,15 @@ impl CoreModel {
             }
             if budget < before {
                 last_granted = Some(slot_idx);
+                inv |= 1 << slot_idx;
             }
         }
+        if inv != 0 && self.cfg.rob_sharing == RobSharing::Shared {
+            // Shared window: freed entries open fetch room for *every*
+            // slot, which can move their events earlier.
+            inv = u64::MAX;
+        }
+        self.ev_valid &= !inv;
         self.rr_commit = match last_granted {
             Some(i) => (i + 1) % nslots.max(1),
             None => (start + 1) % nslots.max(1),
@@ -332,6 +583,7 @@ impl CoreModel {
 
         let start = self.rr_issue;
         let mut last_granted = None;
+        let mut inv = 0u64;
         for k in 0..nslots {
             if budget == 0 {
                 break;
@@ -349,25 +601,31 @@ impl CoreModel {
             }
             let ring = &mut threads[tid].done_ring;
 
-            let mut inspected = 0usize;
             let mut issued_here = 0usize;
             let mut fu_blocked = false;
-            let mut next_completion = Cycle::MAX;
-            for e in s.rob.iter_mut() {
-                if budget == 0 || inspected >= ISSUE_SCAN {
-                    fu_blocked = true; // scan truncated: can't conclude idle
+            // Scheduler selection: inspect the oldest ISSUE_SCAN
+            // not-yet-issued entries (the `unissued` queue — issued
+            // in-flight entries cost nothing, unlike a raw ROB walk).
+            let base_seq = s.rob.front().map_or(0, |e| e.seq);
+            let mut kept = [0u64; ISSUE_SCAN];
+            let mut nkept = 0usize;
+            let mut taken = 0usize;
+            while taken < s.unissued.len() && taken < ISSUE_SCAN {
+                if budget == 0 {
+                    // Shared width gone mid-scan: an issue consumed it
+                    // (the outer loop never enters a slot at zero), so
+                    // `issued_here > 0` already forces a rescan.
+                    fu_blocked = true;
                     break;
                 }
-                if e.issued {
-                    if e.done_at > now {
-                        next_completion = next_completion.min(e.done_at);
-                    }
-                    continue;
-                }
-                inspected += 1;
+                let seq = s.unissued[taken];
+                taken += 1;
+                let e = &mut s.rob[(seq - base_seq) as usize];
                 let r1 = e.prod1 == NO_DEP || ring[(e.prod1 & RING_MASK) as usize] <= now;
                 let r2 = e.prod2 == NO_DEP || ring[(e.prod2 & RING_MASK) as usize] <= now;
                 if !(r1 && r2) {
+                    kept[nkept] = seq;
+                    nkept += 1;
                     if inorder {
                         break; // strict program-order issue
                     }
@@ -382,6 +640,8 @@ impl CoreModel {
                 };
                 if *unit == 0 {
                     fu_blocked = true; // ready entry exists; retry next cycle
+                    kept[nkept] = seq;
+                    nkept += 1;
                     if inorder {
                         break;
                     }
@@ -409,7 +669,7 @@ impl CoreModel {
                 e.issued = true;
                 e.done_at = done_at;
                 if done_at > now {
-                    next_completion = next_completion.min(done_at);
+                    s.done_heap.push(Reverse(done_at));
                 }
                 ring[(e.seq & RING_MASK) as usize] = done_at;
 
@@ -418,6 +678,23 @@ impl CoreModel {
                     s.fetch_blocked_until = done_at + penalty;
                 }
             }
+            // Replace the inspected prefix with its unissued survivors.
+            if taken > nkept {
+                s.unissued.drain(..taken);
+                for &seq in kept[..nkept].iter().rev() {
+                    s.unissued.push_front(seq);
+                }
+            }
+            // Earliest in-flight completion: prune stale heap tops
+            // (committed entries always completed in the past, so
+            // anything left above `now` is in flight).
+            while let Some(&Reverse(t_done)) = s.done_heap.peek() {
+                if t_done > now {
+                    break;
+                }
+                s.done_heap.pop();
+            }
+            let next_completion = s.done_heap.peek().map_or(Cycle::MAX, |&Reverse(t)| t);
             // Record when this slot could next make issue progress.
             s.issue_dirty = false;
             s.issue_wake = if issued_here > 0 || fu_blocked {
@@ -427,6 +704,7 @@ impl CoreModel {
             };
             if issued_here > 0 {
                 last_granted = Some(slot_idx);
+                inv |= 1 << slot_idx;
             }
             if inorder && issued_here > 0 {
                 // Fine-grained MT: only one context issues per cycle;
@@ -434,6 +712,7 @@ impl CoreModel {
                 break;
             }
         }
+        self.ev_valid &= !inv;
         self.rr_issue = match last_granted {
             Some(i) => (i + 1) % nslots.max(1),
             None => (start + 1) % nslots.max(1),
@@ -479,6 +758,7 @@ impl CoreModel {
             0
         };
         let mut last_granted = None;
+        let mut inv = 0u64;
         for k in 0..nslots {
             let slot_idx = match &icount_order {
                 None => (start + k) % nslots,
@@ -497,6 +777,7 @@ impl CoreModel {
                 continue;
             }
             any_runnable = true;
+            let fbu_before = s.fetch_blocked_until;
 
             let mut fetched = 0usize;
             while fetched < budget {
@@ -556,6 +837,7 @@ impl CoreModel {
                     issued: false,
                     done_at: 0,
                 });
+                s.unissued.push_back(seq);
                 fetched += 1;
                 total_occ += 1;
                 self.stats.dispatched += 1;
@@ -568,6 +850,12 @@ impl CoreModel {
                     break;
                 }
             }
+            if fetched > 0 || s.pending.is_some() || s.fetch_blocked_until != fbu_before {
+                // The slot dispatched, hit a block/finish boundary, or
+                // took an I-cache miss/redirect — its cached event is
+                // stale either way.
+                inv |= 1 << slot_idx;
+            }
             if fetched > 0 {
                 // Contexts that stalled without dispatching (I-cache
                 // miss, full partition, block) don't count as fetchers
@@ -577,6 +865,7 @@ impl CoreModel {
                 last_granted = Some(slot_idx);
             }
         }
+        self.ev_valid &= !inv;
         self.rr_fetch = match last_granted {
             Some(i) => (i + 1) % nslots.max(1),
             None => (start + 1) % nslots.max(1),

@@ -3,10 +3,25 @@
 //! assignment, barrier and lock synchronization (blocked threads yield
 //! their hardware context), round-robin time-sharing when several
 //! software threads share one context, and the active-thread histogram.
+//!
+//! ## Event-driven cycle skipping
+//!
+//! Memory-bound regions leave every hardware context waiting on a fill
+//! whose arrival cycle is already known (the memory system computes
+//! completion times at access time). Instead of burning one loop
+//! iteration per quiescent cycle, the engine asks every core for its
+//! earliest possible next event ([`CoreModel::next_event`]) — the
+//! minimum over in-flight completion times, fetch unblock times and
+//! scheduler quantum expiries — and jumps `now` directly to the cycle
+//! before it, replaying the skipped span's bookkeeping (cycle counters,
+//! the active-thread histogram, round-robin arbiter rotation, quantum
+//! ticks, watchdog checks) in closed form. Results are **bit-identical**
+//! to dense stepping (enforced by `tests/equivalence.rs`); set
+//! `TLPSIM_NO_SKIP=1` or call
+//! [`set_cycle_skipping`](MultiCore::set_cycle_skipping) to force the
+//! legacy dense stepper when debugging.
 
-use std::collections::HashMap;
-
-use tlpsim_mem::{Cycle, MemorySystem};
+use tlpsim_mem::{Cycle, FastMap, MemorySystem};
 
 use crate::config::ChipConfig;
 use crate::core_model::{CoreModel, Drained, Pending};
@@ -17,6 +32,14 @@ use crate::ThreadId;
 /// Default watchdog window: declare a stall if no instruction commits
 /// for this many cycles.
 pub const DEFAULT_WATCHDOG_CYCLES: Cycle = 3_000_000;
+
+/// `TLPSIM_NO_SKIP=1` (any value other than `0`/empty) forces the
+/// legacy dense stepper — the debugging escape hatch.
+fn no_skip_env() -> bool {
+    std::env::var("TLPSIM_NO_SKIP")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
 
 /// State of one hardware context at the moment a stall was declared.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -152,8 +175,8 @@ pub struct MultiCore {
     mem: MemorySystem,
     threads: Vec<ThreadCtl>,
     blocked_since: Vec<Cycle>,
-    barriers: HashMap<u32, usize>,
-    locks: HashMap<u32, LockState>,
+    barriers: FastMap<u32, usize>,
+    locks: FastMap<u32, LockState>,
     n_segmented: usize,
     runnable: usize,
     now: Cycle,
@@ -162,6 +185,17 @@ pub struct MultiCore {
     recording: bool,
     events: Vec<Drained>,
     watchdog_window: Cycle,
+    /// Fast-forward over quiescent cycles (default on; disabled by
+    /// `TLPSIM_NO_SKIP=1` or [`set_cycle_skipping`](Self::set_cycle_skipping)).
+    skip_enabled: bool,
+    /// Cycles covered by fast-forward jumps instead of dense steps.
+    skipped_cycles: Cycle,
+    /// Number of fast-forward jumps taken.
+    skip_windows: u64,
+    /// Cached [`MemorySystem::next_event`] result (`Cycle::MAX` = none)
+    /// and the fills version it was computed at.
+    mem_ev_cache: Cycle,
+    mem_ev_version: u64,
 }
 
 impl MultiCore {
@@ -178,8 +212,8 @@ impl MultiCore {
             mem: MemorySystem::new(&chip.memory),
             threads: Vec::new(),
             blocked_since: Vec::new(),
-            barriers: HashMap::new(),
-            locks: HashMap::new(),
+            barriers: FastMap::default(),
+            locks: FastMap::default(),
             n_segmented: 0,
             runnable: 0,
             now: 0,
@@ -188,8 +222,39 @@ impl MultiCore {
             recording: true,
             events: Vec::new(),
             watchdog_window: DEFAULT_WATCHDOG_CYCLES,
+            skip_enabled: !no_skip_env(),
+            skipped_cycles: 0,
+            skip_windows: 0,
+            mem_ev_cache: 0,
+            mem_ev_version: u64::MAX,
             chip: chip.clone(),
         }
+    }
+
+    /// Enable or disable event-driven cycle skipping (the fast-forward
+    /// over provably-quiescent cycles). On by default; results are
+    /// bit-identical either way, so this only exists for debugging and
+    /// for the differential test harness. The `TLPSIM_NO_SKIP=1`
+    /// environment variable forces it off at construction time.
+    pub fn set_cycle_skipping(&mut self, enabled: bool) {
+        self.skip_enabled = enabled && !no_skip_env();
+    }
+
+    /// Whether event-driven cycle skipping is active.
+    pub fn cycle_skipping(&self) -> bool {
+        self.skip_enabled
+    }
+
+    /// Cycles covered by fast-forward jumps so far (for skip-ratio
+    /// reporting; deliberately *not* part of [`RunResult`], which must
+    /// stay bit-identical between the skipping and dense engines).
+    pub fn skipped_cycles(&self) -> Cycle {
+        self.skipped_cycles
+    }
+
+    /// Number of fast-forward jumps taken so far.
+    pub fn skip_windows(&self) -> u64 {
+        self.skip_windows
     }
 
     /// Configure the stall watchdog: if no instruction commits anywhere
@@ -278,6 +343,14 @@ impl MultiCore {
 
     /// Like [`run`](Self::run) with an explicit cycle limit.
     ///
+    /// The loop alternates dense stepping with event-driven
+    /// fast-forward: after each dense cycle it computes the earliest
+    /// cycle at which *any* component can act ([`Self::next_event`])
+    /// and bulk-skips the provably-idle span in between, replaying the
+    /// per-cycle bookkeeping (including watchdog checks at the exact
+    /// power-of-two cadence the dense loop uses) in closed form.
+    /// Results are bit-identical to dense stepping.
+    ///
     /// # Errors
     /// Returns [`RunError`] on unpinned threads, deadlock, or when
     /// `limit` is exceeded.
@@ -295,8 +368,17 @@ impl MultiCore {
             .next_power_of_two()
             .clamp(1, 0x1_0000)
             - 1;
+        let check_period = check_mask + 1;
+        // Round `c` up to the next watchdog check cycle (`c & mask == 0`).
+        let next_check = |c: Cycle| c.div_ceil(check_period) * check_period;
         let mut last_progress_commits = 0u64;
         let mut last_progress_cycle = 0u64;
+        // Gate for the quiescence scan: a cycle that committed
+        // instructions is certainly busy, so `next_event` would return
+        // `now + 1` and even the cached per-slot scan would be wasted.
+        // Tracking the chip-wide commit count is a few adds per cycle
+        // and prunes the scan to genuinely idle-looking cycles.
+        let mut prev_committed = 0u64;
         while !self.finished() {
             self.step();
             if self.now > limit {
@@ -316,8 +398,117 @@ impl MultiCore {
                     last_progress_cycle = self.now;
                 }
             }
+
+            // Only consider a jump while the run is still live: after
+            // the final thread finishes, the loop must exit exactly
+            // like the dense stepper (an empty chip has no events and
+            // would otherwise "fast-forward" into a phantom stall).
+            if !self.skip_enabled || self.finished() {
+                continue;
+            }
+            let committed: u64 = self.threads.iter().map(|t| t.committed).sum();
+            let progressed = committed != prev_committed;
+            prev_committed = committed;
+            if progressed {
+                continue; // chip is visibly busy; don't bother scanning
+            }
+            // Fast-forward: earliest cycle at which anything can change.
+            let event_at = self.next_event();
+            if event_at <= self.now + 1 {
+                continue; // busy next cycle; keep stepping densely
+            }
+            // Last provably-idle cycle we may jump to. `event_at` can be
+            // `Cycle::MAX` (true deadlock: only the watchdog/limit end
+            // the run), so cap by the cycle at which the dense loop
+            // would return `CycleLimit` (it errors *after* executing
+            // cycle `limit + 1`).
+            let mut jump_to = event_at - 1;
+            let mut outcome = None;
+            if limit.saturating_add(1) <= jump_to {
+                jump_to = limit + 1;
+                outcome = Some(RunError::CycleLimit { limit });
+            }
+            // Replay the watchdog checks the dense loop would run inside
+            // the window, at the same mask cadence. Commit counts are
+            // frozen across the window, so the dense sequence collapses
+            // to: one progress update at the first check cycle (if there
+            // was progress since the last check), then a stall at the
+            // first check cycle more than a window past the last
+            // progress point.
+            if committed != last_progress_commits {
+                let c0 = next_check(self.now + 1);
+                if c0 <= jump_to {
+                    last_progress_commits = committed;
+                    last_progress_cycle = c0;
+                }
+            }
+            if committed == last_progress_commits {
+                let stall_at =
+                    next_check((last_progress_cycle + self.watchdog_window + 1).max(self.now + 1));
+                // The dense loop checks the limit before the watchdog,
+                // so a stall can only be declared at cycles <= limit.
+                if stall_at <= jump_to.min(limit) {
+                    // The stall fires before the limit or the next event.
+                    self.fast_forward(stall_at - self.now);
+                    return Err(RunError::Stalled {
+                        cycle: self.now,
+                        snapshot: Box::new(self.stall_snapshot()),
+                    });
+                }
+            }
+            if jump_to > self.now {
+                self.fast_forward(jump_to - self.now);
+            }
+            if let Some(err) = outcome {
+                return Err(err);
+            }
         }
         Ok(self.result())
+    }
+
+    /// The earliest cycle `>= now + 1` at which any core or the memory
+    /// system can act or change observable state. `Cycle::MAX` means
+    /// nothing will ever happen again (a true deadlock — only the
+    /// watchdog or the cycle limit ends the run).
+    fn next_event(&mut self) -> Cycle {
+        debug_assert!(self.events.is_empty(), "events must drain every cycle");
+        let now = self.now;
+        let mut ev = Cycle::MAX;
+        for core in self.cores.iter_mut() {
+            ev = ev.min(core.next_event(now, &self.threads));
+            if ev <= now + 1 {
+                return ev;
+            }
+        }
+        // Defense in depth: never jump past an in-flight fill arrival.
+        // Core-side state (`done_at`, `fetch_blocked_until`) already
+        // mirrors every fill a core waits on, so this only tightens the
+        // jump, never loosens it. The scan walks every in-flight fill,
+        // so its result is cached until a new fill is recorded (the
+        // fills version changes) or the cached arrival passes.
+        let version = self.mem.fills_version();
+        if version != self.mem_ev_version || self.mem_ev_cache <= now {
+            self.mem_ev_cache = self.mem.next_event(now).unwrap_or(Cycle::MAX);
+            self.mem_ev_version = version;
+        }
+        ev.min(self.mem_ev_cache).max(now + 1)
+    }
+
+    /// Jump `now` forward by `span` provably-idle cycles, replaying the
+    /// bookkeeping dense stepping would have accumulated: per-core
+    /// cycle/busy counters and arbiter rotation ([`CoreModel::fast_forward`]),
+    /// the active-thread histogram, and the skip statistics.
+    fn fast_forward(&mut self, span: Cycle) {
+        let now = self.now;
+        for core in self.cores.iter_mut() {
+            core.fast_forward(now, span, &self.threads);
+        }
+        if self.recording {
+            self.hist[self.runnable] += span;
+        }
+        self.now += span;
+        self.skipped_cycles += span;
+        self.skip_windows += 1;
     }
 
     /// Capture the diagnostic state attached to [`RunError::Stalled`].
@@ -371,14 +562,47 @@ impl MultiCore {
     fn step(&mut self) {
         self.now += 1;
         let now = self.now;
-        for core in self.cores.iter_mut() {
-            core.cycle(now, &mut self.mem, &mut self.threads, &mut self.events);
+        if self.skip_enabled {
+            // Per-core micro-skip: even on a busy chip cycle, most
+            // cores usually have nothing to do. A core whose next
+            // event lies beyond `now` provably mutates nothing this
+            // cycle except the bulk-accumulable bookkeeping (the same
+            // §9 contract that licenses whole-chip jumps), so replay
+            // that in closed form instead of walking its pipeline.
+            // Cross-core influences all flow through drain events
+            // (resolved below, invalidating every cache) or through
+            // shared-memory timing, which only matters on a core's own
+            // next access — itself an event.
+            let prev = now - 1;
+            for core in self.cores.iter_mut() {
+                if core.next_event(prev, &self.threads) > now {
+                    core.fast_forward(prev, 1, &self.threads);
+                } else {
+                    core.cycle(now, &mut self.mem, &mut self.threads, &mut self.events);
+                }
+            }
+        } else {
+            for core in self.cores.iter_mut() {
+                core.cycle(now, &mut self.mem, &mut self.threads, &mut self.events);
+            }
         }
         let events = std::mem::take(&mut self.events);
+        let had_events = !events.is_empty();
         for ev in events {
             self.resolve(ev);
         }
         self.reschedule_slots();
+        if had_events {
+            // Thread-state transitions and context switches change
+            // chip-global inputs (fetch eligibility, active-context
+            // counts, slot residency) that every core's cached
+            // next-event results may depend on. They all originate
+            // from drain events, so this is the one invalidation
+            // point.
+            for core in self.cores.iter_mut() {
+                core.invalidate_events();
+            }
+        }
         if self.recording {
             self.hist[self.runnable] += 1;
         }

@@ -1,0 +1,251 @@
+//! Differential harness: the event-driven fast-forward engine must
+//! produce **bit-identical** [`RunResult`]s to the naive dense stepper
+//! on every config × workload cell — same cycle counts, per-thread
+//! stats, active-thread histograms, and cache/bus/DRAM counters.
+//!
+//! Every scenario builds the same simulation twice from identical
+//! inputs, runs one with cycle skipping and one with the legacy dense
+//! stepper ([`MultiCore::set_cycle_skipping`]), and asserts full
+//! structural equality of the results.
+
+use tlpsim_uarch::{
+    ChipConfig, CoreConfig, FetchPolicy, MultiCore, RobSharing, RunResult, ThreadProgram,
+};
+use tlpsim_workloads::{parsec, spec, InstrStream, Segment};
+
+/// Run the same construction twice (fast-forward vs dense) and return
+/// `(fast result, dense result, cycles the fast engine skipped)`.
+fn run_both(mk: impl Fn() -> MultiCore) -> (RunResult, RunResult, u64) {
+    let mut fast = mk();
+    fast.set_cycle_skipping(true);
+    let rf = fast.run().expect("fast-forward run must complete");
+    let mut dense = mk();
+    dense.set_cycle_skipping(false);
+    let rd = dense.run().expect("dense run must complete");
+    assert_eq!(dense.skipped_cycles(), 0, "dense engine must never skip");
+    (rf, rd, fast.skipped_cycles())
+}
+
+/// A 2-core multiprogram mix: two memory-bound programs (the case the
+/// fast-forward targets) plus two compute-bound ones, filling the
+/// first two contexts of each core.
+fn multiprogram_mix(chip: &ChipConfig) -> MultiCore {
+    let mut sim = MultiCore::new(chip);
+    let profiles = [
+        spec::mcf_like(),
+        spec::hmmer_like(),
+        spec::libquantum_like(),
+        spec::gamess_like(),
+    ];
+    let slots_per_core = chip.cores[0].smt_contexts as usize;
+    for (i, p) in profiles.iter().enumerate() {
+        let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+            InstrStream::new(p, i as u64, 42),
+            1_000,
+            6_000,
+        ));
+        if slots_per_core > 1 {
+            sim.pin(t, i % 2, (i / 2) % slots_per_core);
+        } else {
+            // No SMT: two programs time-share each single context.
+            sim.pin(t, i % 2, 0);
+        }
+    }
+    sim.prewarm();
+    sim
+}
+
+fn check_multiprogram(core: CoreConfig, smt: bool, expect_skip: bool) {
+    let mut chip = ChipConfig::homogeneous(2, core, 2.66);
+    if !smt {
+        chip = chip.without_smt();
+    }
+    let (rf, rd, skipped) = run_both(|| multiprogram_mix(&chip));
+    assert_eq!(rf, rd, "fast-forward diverged from dense stepping");
+    if expect_skip {
+        assert!(
+            skipped > 0,
+            "memory-bound mix should trigger at least one fast-forward"
+        );
+    }
+}
+
+#[test]
+fn big_smt_multiprogram_bit_identical() {
+    check_multiprogram(CoreConfig::big(), true, true);
+}
+
+#[test]
+fn big_nosmt_multiprogram_bit_identical() {
+    check_multiprogram(CoreConfig::big(), false, true);
+}
+
+#[test]
+fn medium_smt_multiprogram_bit_identical() {
+    check_multiprogram(CoreConfig::medium(), true, true);
+}
+
+#[test]
+fn medium_nosmt_multiprogram_bit_identical() {
+    check_multiprogram(CoreConfig::medium(), false, true);
+}
+
+#[test]
+fn small_smt_multiprogram_bit_identical() {
+    check_multiprogram(CoreConfig::small(), true, true);
+}
+
+#[test]
+fn small_nosmt_multiprogram_bit_identical() {
+    check_multiprogram(CoreConfig::small(), false, true);
+}
+
+/// Ablation variants exercise the non-default arbitration paths
+/// (ICOUNT fetch ordering, shared ROB window).
+#[test]
+fn icount_shared_rob_multiprogram_bit_identical() {
+    let mut core = CoreConfig::big();
+    core.fetch_policy = FetchPolicy::ICount;
+    core.rob_sharing = RobSharing::Shared;
+    check_multiprogram(core, true, false);
+}
+
+/// Barrier-heavy multi-threaded app (streamcluster-like): blocked
+/// threads yield their contexts, ROI histogram recording, barrier
+/// release waves.
+fn parsec_sim(chip: &ChipConfig, app: &tlpsim_workloads::ParsecApp, n_threads: usize) -> MultiCore {
+    let w = app.instantiate(n_threads, 3_000, 7);
+    let mut sim = MultiCore::new(chip);
+    let n_cores = chip.cores.len();
+    let max_barrier = w
+        .threads
+        .iter()
+        .flatten()
+        .filter_map(|s| match s {
+            Segment::Barrier { id } => Some(*id),
+            _ => None,
+        })
+        .max()
+        .unwrap();
+    for (i, segs) in w.threads.iter().enumerate() {
+        let stream = InstrStream::new(&w.profile, i as u64, 99).with_shared_region(
+            0x4000_0000_0000,
+            w.shared_bytes,
+            w.shared_frac,
+        );
+        let t = sim.add_thread(ThreadProgram::segmented(stream, segs.clone()));
+        let slots = chip.cores[i % n_cores].smt_contexts as usize;
+        sim.pin(t, i % n_cores, (i / n_cores) % slots);
+    }
+    sim.set_roi_barriers(0, max_barrier);
+    sim.prewarm();
+    sim
+}
+
+#[test]
+fn barrier_heavy_parsec_bit_identical() {
+    let chip = ChipConfig::homogeneous(4, CoreConfig::big(), 2.66);
+    let app = parsec::streamcluster_like();
+    let (rf, rd, _) = run_both(|| parsec_sim(&chip, &app, 8));
+    assert_eq!(rf, rd, "barrier-heavy run diverged");
+    // Barriers must actually have been exercised.
+    assert!(rd.threads.iter().map(|t| t.blocked_cycles).sum::<u64>() > 0);
+}
+
+#[test]
+fn lock_heavy_parsec_bit_identical() {
+    let mut app = parsec::blackscholes_like();
+    app.cs_frac = 0.9;
+    app.max_parallelism = 64;
+    app.imbalance = 0.0;
+    let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66);
+    let (rf, rd, _) = run_both(|| parsec_sim(&chip, &app, 4));
+    assert_eq!(rf, rd, "critical-section-heavy run diverged");
+}
+
+/// Time-sharing overload on a no-SMT chip: quantum expiry and context
+/// switches must survive fast-forward (quantum ticks are replayed in
+/// bulk).
+#[test]
+fn time_sharing_overload_bit_identical() {
+    let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66).without_smt();
+    let mk = || {
+        let mut sim = MultiCore::new(&chip);
+        for i in 0..6u64 {
+            let p = if i % 2 == 0 {
+                spec::mcf_like()
+            } else {
+                spec::gcc_like()
+            };
+            let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+                InstrStream::new(&p, i, 17),
+                500,
+                4_000,
+            ));
+            sim.pin(t, (i % 2) as usize, 0);
+        }
+        sim.prewarm();
+        sim
+    };
+    let (rf, rd, _) = run_both(mk);
+    assert_eq!(rf, rd, "time-sharing run diverged");
+}
+
+/// Heterogeneous chip: all three core classes side by side.
+#[test]
+fn heterogeneous_chip_bit_identical() {
+    let chip = ChipConfig::heterogeneous(
+        &[CoreConfig::big(), CoreConfig::medium(), CoreConfig::small()],
+        2.66,
+    );
+    let mk = || {
+        let mut sim = MultiCore::new(&chip);
+        let profiles = [
+            spec::libquantum_like(),
+            spec::milc_like(),
+            spec::astar_like(),
+        ];
+        for (i, p) in profiles.iter().enumerate() {
+            let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+                InstrStream::new(p, i as u64, 5),
+                1_000,
+                5_000,
+            ));
+            sim.pin(t, i, 0);
+        }
+        sim.prewarm();
+        sim
+    };
+    let (rf, rd, skipped) = run_both(mk);
+    assert_eq!(rf, rd, "heterogeneous run diverged");
+    assert!(skipped > 0, "memory-bound heterogeneous mix should skip");
+}
+
+/// The skip ratio on a memory-bound cell must be substantial — this is
+/// the mechanism behind the PR's wall-clock speedup target.
+#[test]
+fn memory_bound_mix_skips_most_cycles() {
+    if std::env::var("TLPSIM_NO_SKIP").is_ok_and(|v| !v.is_empty() && v != "0") {
+        return; // escape hatch active: nothing to measure
+    }
+    let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66);
+    let mut sim = MultiCore::new(&chip);
+    for i in 0..4u64 {
+        let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+            InstrStream::new(&spec::mcf_like(), i, 23),
+            1_000,
+            8_000,
+        ));
+        sim.pin(t, (i % 2) as usize, (i / 2) as usize);
+    }
+    sim.prewarm();
+    let r = sim.run().expect("completes");
+    let ratio = sim.skipped_cycles() as f64 / r.cycles as f64;
+    assert!(
+        ratio > 0.3,
+        "mcf-like mix should skip a large fraction of cycles, got {ratio:.3} \
+         ({} of {} cycles)",
+        sim.skipped_cycles(),
+        r.cycles
+    );
+}

@@ -1,0 +1,58 @@
+//! `TLPSIM_NO_SKIP=1` escape hatch: forces the legacy dense stepper
+//! even when cycle skipping is requested programmatically.
+//!
+//! This lives in its own integration-test binary so the env-var
+//! mutation cannot race other tests: cargo runs each test binary in a
+//! separate process, and this file's tests run single-threaded within
+//! it (they serialize on env state via a mutex-free single test).
+
+use tlpsim_uarch::{ChipConfig, CoreConfig, MultiCore, ThreadProgram};
+use tlpsim_workloads::{spec, InstrStream};
+
+fn memory_bound_sim() -> MultiCore {
+    let chip = ChipConfig::homogeneous(1, CoreConfig::big(), 2.66);
+    let mut sim = MultiCore::new(&chip);
+    let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+        InstrStream::new(&spec::mcf_like(), 0, 11),
+        500,
+        4_000,
+    ));
+    sim.pin(t, 0, 0);
+    sim.prewarm();
+    sim
+}
+
+#[test]
+fn no_skip_env_forces_dense_stepper() {
+    // Sanity: without the variable the memory-bound run fast-forwards.
+    std::env::remove_var("TLPSIM_NO_SKIP");
+    let mut sim = memory_bound_sim();
+    assert!(sim.cycle_skipping());
+    let baseline = sim.run().expect("completes");
+    assert!(sim.skipped_cycles() > 0, "control run should fast-forward");
+
+    // With the hatch set, construction disables skipping...
+    std::env::set_var("TLPSIM_NO_SKIP", "1");
+    let mut sim = memory_bound_sim();
+    assert!(!sim.cycle_skipping());
+    // ...and it cannot be re-enabled programmatically.
+    sim.set_cycle_skipping(true);
+    assert!(!sim.cycle_skipping());
+    let dense = sim.run().expect("completes");
+    assert_eq!(
+        sim.skipped_cycles(),
+        0,
+        "escape hatch must force dense steps"
+    );
+    assert_eq!(sim.skip_windows(), 0);
+
+    // "0" and empty string mean "not set".
+    std::env::set_var("TLPSIM_NO_SKIP", "0");
+    assert!(memory_bound_sim().cycle_skipping());
+    std::env::set_var("TLPSIM_NO_SKIP", "");
+    assert!(memory_bound_sim().cycle_skipping());
+    std::env::remove_var("TLPSIM_NO_SKIP");
+
+    // And of course both paths agree on the result.
+    assert_eq!(baseline, dense);
+}

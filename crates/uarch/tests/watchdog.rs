@@ -98,3 +98,85 @@ fn default_window_matches_constant() {
     // The default must stay generous enough for slow-but-live runs.
     assert_eq!(DEFAULT_WATCHDOG_CYCLES, 3_000_000);
 }
+
+/// Regression: a fast-forward larger than the watchdog window over a
+/// zero-commit stretch must still raise `Stalled` — at exactly the
+/// cycle the dense stepper would, with an identical snapshot. The
+/// starved barrier quiesces the whole chip, so the skip engine's next
+/// event is unbounded and the jump would otherwise sail past the
+/// window.
+#[test]
+fn stall_is_bit_identical_under_fast_forward() {
+    for window in [5_000u64, 20_000, 131_072, 400_000] {
+        let mut fast = stalled_sim();
+        fast.set_cycle_skipping(true);
+        fast.set_watchdog(window);
+        let mut dense = stalled_sim();
+        dense.set_cycle_skipping(false);
+        dense.set_watchdog(window);
+        let ef = fast.run().expect_err("starved barrier must stall");
+        let ed = dense.run().expect_err("starved barrier must stall");
+        assert_eq!(
+            ef, ed,
+            "fast-forward stall diverged from dense at window={window}"
+        );
+    }
+}
+
+/// Regression: fast-forward must not bypass the power-of-two check
+/// cadence. The dense stepper only inspects progress on cycles that
+/// are multiples of the check period, so the reported stall cycle is
+/// always aligned to it — skipped runs included.
+#[test]
+fn stall_cycle_respects_check_cadence() {
+    let window = 20_000u64;
+    // Mirrors the engine's cadence: (window/4) rounded up to a power
+    // of two, capped at 64Ki cycles.
+    let check_period = (window / 4).next_power_of_two().clamp(1, 0x1_0000);
+    let mut sim = stalled_sim();
+    sim.set_cycle_skipping(true);
+    sim.set_watchdog(window);
+    match sim.run() {
+        Err(RunError::Stalled { cycle, .. }) => {
+            assert_eq!(
+                cycle % check_period,
+                0,
+                "stall at {cycle} not aligned to check period {check_period}"
+            );
+            assert!(
+                sim.skipped_cycles() > 0,
+                "quiescent chip should fast-forward"
+            );
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+}
+
+/// A cycle limit hit inside a skipped window must report the same
+/// `CycleLimit` error as the dense stepper, at the same final cycle.
+#[test]
+fn cycle_limit_is_bit_identical_under_fast_forward() {
+    // mcf-like misses constantly, so fast-forward is active when the
+    // limit lands mid-window.
+    let mk = || {
+        let chip = ChipConfig::homogeneous(1, CoreConfig::big(), 2.66);
+        let mut sim = MultiCore::new(&chip);
+        let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+            InstrStream::new(&spec::mcf_like(), 0, 3),
+            0,
+            1_000_000,
+        ));
+        sim.pin(t, 0, 0);
+        sim.prewarm();
+        sim
+    };
+    let mut fast = mk();
+    fast.set_cycle_skipping(true);
+    let mut dense = mk();
+    dense.set_cycle_skipping(false);
+    let limit = 30_000;
+    let ef = fast.run_with_limit(limit).expect_err("limit must trip");
+    let ed = dense.run_with_limit(limit).expect_err("limit must trip");
+    assert_eq!(ef, ed, "cycle-limit behaviour diverged");
+    assert_eq!(fast.now(), dense.now(), "final cycle diverged");
+}
