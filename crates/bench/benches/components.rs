@@ -11,6 +11,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use tlpsim_core::executor::par_map;
 use tlpsim_mem::{AccessKind, Addr, Cache, CacheConfig, MemoryConfig, MemorySystem};
 use tlpsim_uarch::{ChipConfig, CoreConfig, MultiCore, ThreadProgram};
 use tlpsim_workloads::{spec, InstrStream};
@@ -238,37 +239,19 @@ fn sweep_cell(name: &'static str, reps: usize, mk: impl Fn() -> MultiCore) -> Sw
 }
 
 /// End-to-end engine sweep (DESIGN.md §9): dense vs fast-forward wall
-/// time across an LLC-thrashing and a compute-bound cell, written as
-/// machine-readable JSON to `BENCH_pr2.json`.
+/// time across an LLC-thrashing and a compute-bound cell. Returns the
+/// `"cells"` JSON fragment for the combined report.
 ///
 /// With `TLPSIM_BENCH_SMOKE=1` (the CI smoke job) the budgets shrink
 /// and the run fails if the LLC-thrashing speedup drops below a
 /// generous floor — a relative, machine-independent regression check.
-fn bench_engine_sweep() {
-    let smoke = std::env::var("TLPSIM_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+fn bench_engine_sweep(smoke: bool) -> String {
     let budget: u64 = if smoke { 20_000 } else { 120_000 };
     let reps = if smoke { 3 } else { 5 };
     let cells = [
         sweep_cell("llc_thrash", reps, || llc_thrash_sim(budget)),
         sweep_cell("compute_bound", reps, || compute_bound_sim(budget)),
     ];
-
-    let body = cells
-        .iter()
-        .map(SweepCell::json)
-        .collect::<Vec<_>>()
-        .join(",\n");
-    let json = format!(
-        "{{\n  \"bench\": \"engine_sweep\",\n  \"chip\": \"4x big SMT-2 @ 2.66GHz\",\n  \
-         \"threads\": 8,\n  \"budget_instrs_per_thread\": {budget},\n  \
-         \"smoke\": {smoke},\n  \"cells\": [\n{body}\n  ]\n}}\n"
-    );
-    // Default to the workspace root (cargo runs benches with the
-    // package directory as cwd, which would bury the report).
-    let out = std::env::var("TLPSIM_BENCH_OUT")
-        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json").into());
-    std::fs::write(&out, &json).expect("write bench report");
-    println!("engine_sweep: report written to {out}");
 
     let thrash = &cells[0];
     if smoke {
@@ -286,12 +269,150 @@ fn bench_engine_sweep() {
             thrash.skip_ratio()
         );
     }
+
+    let body = cells
+        .iter()
+        .map(SweepCell::json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("  \"budget_instrs_per_thread\": {budget},\n  \"cells\": [\n{body}\n  ]")
+}
+
+/// Dense-path throughput (DESIGN.md §10): the compute-bound cell with
+/// cycle skipping disabled, reported as simulated Mcycles per wall
+/// second. This is the number the PR 3 dense-path work is measured on.
+/// Min-of-reps: on shared/1-CPU hosts the minimum is the only
+/// defensible statistic (all noise is additive).
+fn bench_dense_throughput(smoke: bool) -> String {
+    let budget: u64 = if smoke { 20_000 } else { 120_000 };
+    let reps = if smoke { 3 } else { 7 };
+    let mut wall = f64::MAX;
+    let mut cycles = 0;
+    let mut instrs = 0;
+    for _ in 0..reps {
+        let mut sim = compute_bound_sim(budget);
+        sim.set_cycle_skipping(false);
+        let t0 = Instant::now();
+        let r = sim.run().expect("dense run completes");
+        wall = wall.min(t0.elapsed().as_secs_f64());
+        cycles = r.cycles;
+        instrs = r.threads.iter().map(|t| t.committed).sum();
+    }
+    let mcps = cycles as f64 / wall / 1e6;
+    println!(
+        "dense_throughput/compute_bound {cycles} cycles, {instrs} instrs, \
+         {wall:.3} s min-of-{reps} => {mcps:.3} Mcycles/s"
+    );
+    if smoke {
+        // Catastrophe floor only: absolute throughput is machine
+        // dependent, so this guards against order-of-magnitude
+        // regressions (e.g. an accidental O(n^2) in the issue scan),
+        // not percent-level drift.
+        assert!(
+            mcps >= 0.02,
+            "dense throughput collapsed to {mcps:.4} Mcycles/s (floor 0.02)"
+        );
+    }
+    format!(
+        "  \"dense_throughput\": {{\"name\": \"compute_bound_dense\", \"sim_cycles\": {cycles}, \
+         \"instrs\": {instrs}, \"wall_dense_s\": {wall:.6}, \"mcycles_per_s_dense\": {mcps:.3}, \
+         \"reps\": {reps}}}"
+    )
+}
+
+/// Work-stealing sweep executor A/B (DESIGN.md §10): a 9-cell config
+/// sweep (3 chip widths x 3 workload pairings) run through `par_map`
+/// with `TLPSIM_THREADS=8` and again with `TLPSIM_THREADS=1`, asserting
+/// identical results and reporting the wall-clock ratio. On hosts with
+/// fewer than 8 CPUs the ratio reflects the host, not the executor —
+/// `host_parallelism` is recorded so readers can judge.
+fn bench_sweep_executor(smoke: bool) -> String {
+    let budget: u64 = if smoke { 5_000 } else { 40_000 };
+    struct Cfg {
+        cores: usize,
+        specs: [fn() -> tlpsim_workloads::BenchmarkProfile; 2],
+    }
+    let pairings: [[fn() -> tlpsim_workloads::BenchmarkProfile; 2]; 3] = [
+        [spec::hmmer_like, spec::gamess_like],
+        [spec::mcf_like, spec::libquantum_like],
+        [spec::gcc_like, spec::bzip2_like],
+    ];
+    let mut cfgs = Vec::new();
+    for cores in [1usize, 2, 4] {
+        for specs in pairings {
+            cfgs.push(Cfg { cores, specs });
+        }
+    }
+    let run_sweep = |threads: &str| -> (f64, Vec<u64>) {
+        std::env::set_var("TLPSIM_THREADS", threads);
+        let t0 = Instant::now();
+        let out = par_map(&cfgs, |cfg| {
+            let chip = ChipConfig::homogeneous(cfg.cores, CoreConfig::big(), 2.66);
+            let mut sim = MultiCore::new(&chip);
+            for i in 0..(cfg.cores as u64 * 2) {
+                let p = (cfg.specs[(i % 2) as usize])();
+                let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+                    InstrStream::new(&p, i, 31),
+                    1_000,
+                    budget,
+                ));
+                sim.pin(t, (i as usize) % cfg.cores, (i as usize) / cfg.cores);
+            }
+            sim.prewarm();
+            sim.run().map_err(tlpsim_core::SimError::from)
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        std::env::remove_var("TLPSIM_THREADS");
+        let cycles = out
+            .into_iter()
+            .map(|r| r.expect("sweep cell completes").cycles)
+            .collect();
+        (wall, cycles)
+    };
+    let (wall_8t, res_8t) = run_sweep("8");
+    let (wall_1t, res_1t) = run_sweep("1");
+    assert_eq!(res_8t, res_1t, "executor changed simulation results");
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let speedup = wall_1t / wall_8t;
+    println!(
+        "sweep_executor/9_configs {wall_8t:.3} s @8 threads, {wall_1t:.3} s serial \
+         ({speedup:.2}x, host parallelism {host})"
+    );
+    if smoke && host >= 8 {
+        // Only meaningful where 8 workers can actually run in parallel.
+        assert!(
+            speedup >= 1.5,
+            "sweep executor speedup {speedup:.2}x below 1.5x floor on {host}-CPU host"
+        );
+    }
+    format!(
+        "  \"sweep_executor\": {{\"configs\": {}, \"workers_requested\": 8, \
+         \"host_parallelism\": {host}, \"wall_8t_s\": {wall_8t:.6}, \"wall_1t_s\": {wall_1t:.6}, \
+         \"speedup\": {speedup:.2}, \"budget_instrs_per_thread\": {budget}}}",
+        cfgs.len()
+    )
 }
 
 fn main() {
+    let smoke = std::env::var("TLPSIM_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
     bench_cache();
     bench_memory_system();
     bench_generator();
     bench_core_cycle();
-    bench_engine_sweep();
+    let sweep_frag = bench_engine_sweep(smoke);
+    let dense_frag = bench_dense_throughput(smoke);
+    let exec_frag = bench_sweep_executor(smoke);
+
+    let json = format!(
+        "{{\n  \"bench\": \"engine_sweep\",\n  \"chip\": \"4x big SMT-2 @ 2.66GHz\",\n  \
+         \"threads\": 8,\n  \"smoke\": {smoke},\n{sweep_frag},\n{dense_frag},\n{exec_frag}\n}}\n"
+    );
+    // Default to the workspace root (cargo runs benches with the
+    // package directory as cwd, which would bury the report).
+    let out = std::env::var("TLPSIM_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3.json").into());
+    std::fs::write(&out, &json).expect("write bench report");
+    println!("engine_sweep: report written to {out}");
 }

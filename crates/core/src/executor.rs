@@ -1,4 +1,4 @@
-//! The panic-isolated sweep executor (DESIGN.md §7).
+//! The panic-isolated sweep executor (DESIGN.md §7, §10).
 //!
 //! Experiment drivers fan thousands of independent cells out over a
 //! host thread pool. One poisoned cell must cost exactly that cell:
@@ -7,10 +7,23 @@
 //! `Err(SimError::WorkerPanicked)` entry in the result vector — the
 //! other items' results survive, so a 12-workload figure degrades to
 //! 11/12 instead of killing the bench binary.
+//!
+//! Scheduling is greedy self-scheduling ("work stealing" from a single
+//! shared queue): workers claim the next unclaimed item via one atomic
+//! counter the moment they go idle. Nothing is pre-partitioned, so the
+//! idle tail is bounded by the single longest item — a worker stuck on
+//! a slow cell never strands cheap cells behind it. Results are
+//! accumulated in per-worker buffers (no per-item locks on the claim
+//! path) and merged positionally after the pool joins.
+//!
+//! The worker count is `TLPSIM_THREADS` if set (any positive integer),
+//! else the host's available parallelism, clamped to the item count.
+//! `TLPSIM_THREADS=1` bypasses the pool entirely: items run on the
+//! calling thread in index order, which makes sweeps deterministic for
+//! debugging and bisection.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use crate::error::SimError;
 
@@ -25,6 +38,22 @@ fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Number of workers a sweep over `n_items` items will use: the
+/// `TLPSIM_THREADS` override (any positive integer) if set, else the
+/// host's available parallelism, clamped to the item count.
+pub fn worker_count(n_items: usize) -> usize {
+    let host = std::env::var("TLPSIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+    host.min(n_items.max(1))
+}
+
 /// Run `f` over `items` on a host thread pool, preserving order.
 ///
 /// This is the sweep executor used by the experiment drivers: each
@@ -35,19 +64,17 @@ fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
 /// * `f` panicking is caught, retried once, and on a second panic
 ///   surfaced as [`SimError::WorkerPanicked`] — the worker thread and
 ///   every other item keep going.
+///
+/// With one worker (item count, host parallelism or `TLPSIM_THREADS`
+/// equal to 1) no threads are spawned: items run on the calling thread
+/// in index order.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, SimError>>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> Result<R, SimError> + Sync,
 {
-    let n_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<Result<R, SimError>>>> =
-        (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let n = items.len();
     let run_one = |i: usize| -> Result<R, SimError> {
         let mut last_panic = String::new();
         for _attempt in 0..2 {
@@ -63,31 +90,54 @@ where
             detail: last_panic,
         })
     };
-    std::thread::scope(|s| {
-        for _ in 0..n_workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = run_one(i);
-                *results[i]
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .unwrap_or_else(|| {
-                    Err(SimError::WorkerPanicked {
-                        item: usize::MAX,
-                        detail: "item was never processed".into(),
-                    })
+
+    let n_workers = worker_count(n);
+    if n_workers <= 1 {
+        return (0..n).map(run_one).collect();
+    }
+
+    // Greedy self-scheduling: one shared claim counter, per-worker
+    // result buffers. A worker claims an item the moment it goes idle,
+    // so no item ever waits behind an unrelated slow one.
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, Result<R, SimError>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, run_one(i)));
+                    }
+                    local
                 })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+
+    let mut out: Vec<Option<Result<R, SimError>>> = (0..n).map(|_| None).collect();
+    for (i, r) in parts.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| {
+                // Only reachable if a worker died outside catch_unwind
+                // (e.g. an abort-on-OOM race); the item's position still
+                // gets a typed error instead of poisoning the sweep.
+                Err(SimError::WorkerPanicked {
+                    item: i,
+                    detail: "item was never processed".into(),
+                })
+            })
         })
         .collect()
 }
@@ -96,6 +146,23 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU32;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate `TLPSIM_THREADS` (process-global).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    struct EnvGuard;
+    impl EnvGuard {
+        fn set(v: &str) -> Self {
+            std::env::set_var("TLPSIM_THREADS", v);
+            EnvGuard
+        }
+    }
+    impl Drop for EnvGuard {
+        fn drop(&mut self) {
+            std::env::remove_var("TLPSIM_THREADS");
+        }
+    }
 
     #[test]
     fn preserves_order() {
@@ -165,5 +232,69 @@ mod tests {
         let items: Vec<u8> = Vec::new();
         let out = par_map(&items, |&x| Ok(x));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn threads_env_overrides_worker_count() {
+        let _l = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = EnvGuard::set("3");
+        assert_eq!(worker_count(100), 3);
+        assert_eq!(worker_count(2), 2, "still clamped to the item count");
+        drop(_g);
+        let _g = EnvGuard::set("not-a-number");
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        assert_eq!(worker_count(1_000_000), host, "garbage override ignored");
+    }
+
+    #[test]
+    fn single_thread_is_serial_in_order_on_calling_thread() {
+        let _l = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = EnvGuard::set("1");
+        let caller = std::thread::current().id();
+        let order = Mutex::new(Vec::new());
+        let items: Vec<usize> = (0..32).collect();
+        let out = par_map(&items, |&x| {
+            assert_eq!(
+                std::thread::current().id(),
+                caller,
+                "serial path must not spawn"
+            );
+            order.lock().unwrap().push(x);
+            Ok(x)
+        });
+        assert!(out.iter().all(|r| r.is_ok()));
+        assert_eq!(*order.lock().unwrap(), items, "index order, deterministic");
+    }
+
+    #[test]
+    fn idle_tail_is_bounded_by_greedy_scheduling() {
+        // Two workers, one slow item and six fast ones. The slow item
+        // refuses to finish until all fast items have completed — which
+        // is only possible if the *other* worker drains every fast item
+        // while this one is stuck. Static partitioning (half the items
+        // pre-assigned to the stuck worker) would deadlock here; the
+        // 10s ceiling turns that into a loud failure.
+        let _l = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = EnvGuard::set("2");
+        let fast_done = AtomicU32::new(0);
+        let items: Vec<u32> = (0..7).collect();
+        let out = par_map(&items, |&x| {
+            if x == 0 {
+                let t0 = std::time::Instant::now();
+                while fast_done.load(Ordering::SeqCst) < 6 {
+                    assert!(
+                        t0.elapsed().as_secs() < 10,
+                        "fast items starved behind the slow one"
+                    );
+                    std::thread::yield_now();
+                }
+            } else {
+                fast_done.fetch_add(1, Ordering::SeqCst);
+            }
+            Ok(x)
+        });
+        assert!(out.iter().all(|r| r.is_ok()));
     }
 }

@@ -3,6 +3,24 @@
 //! This is a tag-array-only model: it tracks presence, dirtiness and
 //! recency of lines, which is all the timing study needs. Capacity and
 //! conflict behaviour are exact for the configured geometry.
+//!
+//! The lookup path is built for the simulator's per-instruction access
+//! rate (every fetch probes the I-cache, every load/store the D-cache):
+//!
+//! * **Reciprocal set indexing** — the paper's small-core geometries
+//!   are not powers of two (6 KB → 48 sets, 48 KB → 192 sets), so the
+//!   naive `line % sets` / `line / sets` pair costs two 64-bit
+//!   divisions per access. [`SetIndex`] strength-reduces both to one
+//!   fixed-point multiply that is bit-exact for every representable
+//!   line address (see the proof at [`SetIndex::new`]).
+//! * **SoA tag/stamp/dirty arrays** — the hit scan touches only the
+//!   tag word of each way (2-way: 16 contiguous bytes), the victim
+//!   scan only the stamps, instead of striding over 32-byte AoS way
+//!   structs.
+//! * **Same-line MRU short-circuit** — consecutive accesses to one
+//!   line (an I-cache streaming through a 64-byte line issues ~16 of
+//!   them) skip indexing and the way scan entirely; the stamp/dirty
+//!   update and hit count are identical to the full path.
 
 use crate::addr::LineAddr;
 
@@ -58,21 +76,74 @@ pub struct AccessOutcome {
     pub writeback: Option<LineAddr>,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Way {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// Recency stamp; larger = more recently used.
-    lru: u64,
+/// Strength-reduced `(line % sets, line / sets)`.
+#[derive(Debug, Clone, Copy)]
+enum SetIndex {
+    /// `sets` is a power of two: mask and shift.
+    Pow2 { shift: u32 },
+    /// General case: exact division by a fixed-point reciprocal,
+    /// `line / sets == (line * magic) >> (64 + shift)`.
+    Magic { magic: u64, shift: u32 },
 }
+
+impl SetIndex {
+    /// Precompute the reciprocal for `sets`.
+    ///
+    /// For non-power-of-two `sets` this uses the round-up method: with
+    /// `k = floor(log2 sets)` and `magic = ceil(2^(64+k) / sets)`, the
+    /// error term `e = magic * sets - 2^(64+k)` satisfies
+    /// `0 < e < sets`, and `(n * magic) >> (64+k)` equals `n / sets`
+    /// for every `n < 2^(64+k) / e`. Since `e < sets < 2^(k+1)`, that
+    /// bound exceeds `2^63`, and line addresses are byte addresses
+    /// divided by 64 — at most `2^58` — so the reciprocal is exact for
+    /// every representable [`LineAddr`]. `magic` itself fits in 64
+    /// bits because `sets > 2^k` makes `2^(64+k) / sets < 2^64`.
+    fn new(sets: u64) -> Self {
+        debug_assert!(sets > 0);
+        if sets.is_power_of_two() {
+            SetIndex::Pow2 {
+                shift: sets.trailing_zeros(),
+            }
+        } else {
+            let k = 63 - sets.leading_zeros();
+            let magic = (1u128 << (64 + k)).div_ceil(sets as u128) as u64;
+            SetIndex::Magic { magic, shift: k }
+        }
+    }
+
+    /// `(line % sets, line / sets)` without dividing.
+    #[inline]
+    fn split(self, line: u64, sets: u64) -> (u64, u64) {
+        match self {
+            SetIndex::Pow2 { shift } => (line & (sets - 1), line >> shift),
+            SetIndex::Magic { magic, shift } => {
+                let q = ((line as u128 * magic as u128) >> (64 + shift)) as u64;
+                (line - q * sets, q)
+            }
+        }
+    }
+}
+
+/// Tag sentinel for an invalid way. Real tags are `line / sets`, at
+/// most `2^58`, so the sentinel cannot collide.
+const EMPTY: u64 = u64::MAX;
 
 /// A set-associative, write-back, write-allocate cache with true LRU.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
     sets: u64,
-    ways: Vec<Way>, // sets * cfg.ways, row-major by set
+    idx: SetIndex,
+    /// Per-way tag, row-major by set; [`EMPTY`] marks an invalid way.
+    tags: Vec<u64>,
+    /// Per-way recency stamp; larger = more recently used.
+    stamps: Vec<u64>,
+    /// Per-way dirty flag.
+    dirty: Vec<bool>,
+    /// Line of the most recent access ([`EMPTY`] = none) and the way
+    /// it resolved to, for the same-line short-circuit.
+    last_line: u64,
+    last_way: u32,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -83,10 +154,16 @@ impl Cache {
     /// Build an empty (all-invalid) cache with the given geometry.
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
+        let lines = (sets * cfg.ways as u64) as usize;
         Cache {
             cfg,
             sets,
-            ways: vec![Way::default(); (sets * cfg.ways as u64) as usize],
+            idx: SetIndex::new(sets),
+            tags: vec![EMPTY; lines],
+            stamps: vec![0; lines],
+            dirty: vec![false; lines],
+            last_line: EMPTY,
+            last_way: 0,
             tick: 0,
             hits: 0,
             misses: 0,
@@ -99,21 +176,16 @@ impl Cache {
         &self.cfg
     }
 
+    /// Set index of `line` (exposed for the reciprocal property tests).
     #[inline]
-    fn set_of(&self, line: LineAddr) -> u64 {
-        line.0 % self.sets
+    pub fn set_of(&self, line: LineAddr) -> u64 {
+        self.idx.split(line.0, self.sets).0
     }
 
+    /// Tag of `line` (exposed for the reciprocal property tests).
     #[inline]
-    fn tag_of(&self, line: LineAddr) -> u64 {
-        line.0 / self.sets
-    }
-
-    #[inline]
-    fn set_slice(&mut self, set: u64) -> &mut [Way] {
-        let w = self.cfg.ways as usize;
-        let base = set as usize * w;
-        &mut self.ways[base..base + w]
+    pub fn tag_of(&self, line: LineAddr) -> u64 {
+        self.idx.split(line.0, self.sets).1
     }
 
     /// Look up `line`, allocating it on a miss (write-allocate) and
@@ -122,22 +194,17 @@ impl Cache {
     pub fn access(&mut self, line: LineAddr, write: bool) -> AccessOutcome {
         self.tick += 1;
         let tick = self.tick;
-        let sets = self.sets;
-        let set = self.set_of(line);
-        let tag = self.tag_of(line);
-        let ways = self.set_slice(set);
 
-        // Hit path.
-        let mut hit = false;
-        for w in ways.iter_mut() {
-            if w.valid && w.tag == tag {
-                w.lru = tick;
-                w.dirty |= write;
-                hit = true;
-                break;
+        // Same-line short-circuit: the previous access left this line
+        // resident in `last_way` (any later eviction or invalidation
+        // of it would have gone through `access`/`invalidate`, which
+        // reset the marker). State updates mirror the full hit path.
+        if line.0 == self.last_line {
+            let i = self.last_way as usize;
+            self.stamps[i] = tick;
+            if write {
+                self.dirty[i] = true;
             }
-        }
-        if hit {
             self.hits += 1;
             return AccessOutcome {
                 hit: true,
@@ -145,35 +212,53 @@ impl Cache {
             };
         }
 
-        // Miss: pick invalid way or LRU victim.
-        let mut victim = 0usize;
+        let (set, tag) = self.idx.split(line.0, self.sets);
+        let w = self.cfg.ways as usize;
+        let base = set as usize * w;
+
+        // Hit path: tag scan only.
+        for i in base..base + w {
+            if self.tags[i] == tag {
+                self.stamps[i] = tick;
+                if write {
+                    self.dirty[i] = true;
+                }
+                self.hits += 1;
+                self.last_line = line.0;
+                self.last_way = i as u32;
+                return AccessOutcome {
+                    hit: true,
+                    writeback: None,
+                };
+            }
+        }
+
+        // Miss: pick the first invalid way, else the LRU victim
+        // (earliest stamp, lowest way on ties).
+        let mut victim = base;
         let mut best = u64::MAX;
-        for (i, w) in ways.iter().enumerate() {
-            if !w.valid {
+        for i in base..base + w {
+            if self.tags[i] == EMPTY {
                 victim = i;
                 break;
             }
-            if w.lru < best {
-                best = w.lru;
+            if self.stamps[i] < best {
+                best = self.stamps[i];
                 victim = i;
             }
         }
-        let v = &mut ways[victim];
         let mut writeback = None;
-        if v.valid && v.dirty {
+        if self.tags[victim] != EMPTY && self.dirty[victim] {
             // Reconstruct the victim's line address.
-            writeback = Some(LineAddr(v.tag * sets + set));
-        }
-        *v = Way {
-            tag,
-            valid: true,
-            dirty: write,
-            lru: tick,
-        };
-        if writeback.is_some() {
+            writeback = Some(LineAddr(self.tags[victim] * self.sets + set));
             self.writebacks += 1;
         }
+        self.tags[victim] = tag;
+        self.stamps[victim] = tick;
+        self.dirty[victim] = write;
         self.misses += 1;
+        self.last_line = line.0;
+        self.last_way = victim as u32;
         AccessOutcome {
             hit: false,
             writeback,
@@ -183,26 +268,26 @@ impl Cache {
     /// Probe without modifying LRU/allocating. Used by tests and by the
     /// hierarchy to model silent upgrades.
     pub fn contains(&self, line: LineAddr) -> bool {
-        let set = line.0 % self.sets;
-        let tag = line.0 / self.sets;
+        let (set, tag) = self.idx.split(line.0, self.sets);
         let w = self.cfg.ways as usize;
         let base = set as usize * w;
-        self.ways[base..base + w]
-            .iter()
-            .any(|w| w.valid && w.tag == tag)
+        self.tags[base..base + w].contains(&tag)
     }
 
     /// Invalidate a line if present, returning whether it was dirty.
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
-        let set = self.set_of(line);
-        let tag = self.tag_of(line);
-        let ways = self.set_slice(set);
-        for w in ways.iter_mut() {
-            if w.valid && w.tag == tag {
-                let dirty = w.dirty;
-                w.valid = false;
-                w.dirty = false;
-                return dirty;
+        let (set, tag) = self.idx.split(line.0, self.sets);
+        let w = self.cfg.ways as usize;
+        let base = set as usize * w;
+        for i in base..base + w {
+            if self.tags[i] == tag {
+                self.tags[i] = EMPTY;
+                let was_dirty = self.dirty[i];
+                self.dirty[i] = false;
+                if self.last_line == line.0 {
+                    self.last_line = EMPTY;
+                }
+                return was_dirty;
             }
         }
         false
@@ -210,7 +295,7 @@ impl Cache {
 
     /// Number of valid lines currently resident (O(lines); for tests/stats).
     pub fn resident_lines(&self) -> u64 {
-        self.ways.iter().filter(|w| w.valid).count() as u64
+        self.tags.iter().filter(|&&t| t != EMPTY).count() as u64
     }
 
     /// (hits, misses, writebacks) counters since construction.
@@ -336,5 +421,28 @@ mod tests {
         c.access(LineAddr(5), true);
         let out = c.access(LineAddr(9), false);
         assert_eq!(out.writeback, Some(LineAddr(1)));
+    }
+
+    #[test]
+    fn same_line_fast_path_matches_full_path() {
+        let mut c = tiny();
+        c.access(LineAddr(0), false);
+        // Repeat hits go through the MRU short-circuit; counters and
+        // dirty state must match what the full path would do.
+        assert!(c.access(LineAddr(0), false).hit);
+        assert!(c.access(LineAddr(0), true).hit); // marks dirty
+        c.access(LineAddr(4), false);
+        let out = c.access(LineAddr(8), false); // evicts line 0
+        assert_eq!(out.writeback, Some(LineAddr(0)));
+        assert_eq!(c.counters(), (2, 3, 1));
+    }
+
+    #[test]
+    fn invalidate_clears_mru_marker() {
+        let mut c = tiny();
+        c.access(LineAddr(0), true);
+        c.invalidate(LineAddr(0));
+        // Must re-miss, not fast-path "hit" a ghost line.
+        assert!(!c.access(LineAddr(0), false).hit);
     }
 }

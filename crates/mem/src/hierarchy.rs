@@ -238,46 +238,39 @@ impl MemorySystem {
         let is_write = kind == AccessKind::Store;
 
         // --- L1 ---
-        let (l1_lat, l1_out) = {
+        // Single-borrow fast path: the overwhelmingly common case (an L1
+        // hit with nothing in flight) does one bounds check on `cores`,
+        // one cache probe and one counter bump, then returns without
+        // ever re-borrowing `self`.
+        let (l1_lat, l1_wb) = {
             let pc = &mut self.cores[core];
             let l1 = match kind {
                 AccessKind::Fetch => &mut pc.l1i,
                 AccessKind::Load | AccessKind::Store => &mut pc.l1d,
             };
-            (l1.config().latency, l1.access(line, is_write))
-        };
-        {
-            let pc = &mut self.cores[core];
-            match kind {
-                AccessKind::Fetch => {
-                    if l1_out.hit {
-                        pc.stats.l1i_hits += 1
-                    } else {
-                        pc.stats.l1i_misses += 1
-                    }
-                }
-                _ => {
-                    if l1_out.hit {
-                        pc.stats.l1d_hits += 1
-                    } else {
-                        pc.stats.l1d_misses += 1
-                    }
-                }
-            }
-        }
-        if l1_out.hit {
-            let mut complete = now + l1_lat;
-            // Hit on a line whose fill is still in flight: wait for it.
-            if let Some(&t) = self.cores[core].mshr.get(&line) {
-                complete = complete.max(t);
-            }
-            return AccessResult {
-                complete_at: complete,
-                level: HitLevel::L1,
+            let l1_lat = l1.config().latency;
+            let out = l1.access(line, is_write);
+            let (hits, misses) = match kind {
+                AccessKind::Fetch => (&mut pc.stats.l1i_hits, &mut pc.stats.l1i_misses),
+                _ => (&mut pc.stats.l1d_hits, &mut pc.stats.l1d_misses),
             };
-        }
+            if out.hit {
+                *hits += 1;
+                let mut complete = now + l1_lat;
+                // Hit on a line whose fill is still in flight: wait for it.
+                if let Some(&t) = pc.mshr.get(&line) {
+                    complete = complete.max(t);
+                }
+                return AccessResult {
+                    complete_at: complete,
+                    level: HitLevel::L1,
+                };
+            }
+            *misses += 1;
+            (l1_lat, out.writeback)
+        };
         // L1 victim writeback goes to L2 (state only; timing folded into L2 lat).
-        if let Some(victim) = l1_out.writeback {
+        if let Some(victim) = l1_wb {
             self.writeback_to_l2(core, victim, now);
         }
 
@@ -465,16 +458,26 @@ impl MemorySystem {
 
     /// Snapshot of all statistics.
     pub fn stats(&self) -> MemStats {
+        let mut out = MemStats::default();
+        self.stats_into(&mut out);
+        out
+    }
+
+    /// Fill `out` with a snapshot of all statistics, reusing its
+    /// `per_core` allocation. Callers that poll statistics repeatedly
+    /// (progress reporting, periodic sampling) should hold one
+    /// [`MemStats`] and refresh it through this instead of allocating a
+    /// fresh per-core `Vec` via [`Self::stats`] on every poll.
+    pub fn stats_into(&self, out: &mut MemStats) {
+        out.per_core.clear();
+        out.per_core.extend(self.cores.iter().map(|c| c.stats));
         let (llc_hits, llc_misses, _) = self.llc.counters();
-        MemStats {
-            per_core: self.cores.iter().map(|c| c.stats).collect(),
-            llc_hits,
-            llc_misses,
-            dram_accesses: self.dram.accesses(),
-            bus_bytes: self.bus.bytes(),
-            bus_avg_queue_cycles: self.bus.avg_queue_cycles(),
-            dram_avg_queue_cycles: self.dram.avg_queue_cycles(),
-        }
+        out.llc_hits = llc_hits;
+        out.llc_misses = llc_misses;
+        out.dram_accesses = self.dram.accesses();
+        out.bus_bytes = self.bus.bytes();
+        out.bus_avg_queue_cycles = self.bus.avg_queue_cycles();
+        out.dram_avg_queue_cycles = self.dram.avg_queue_cycles();
     }
 
     /// Direct access to the shared LLC (for tests and detailed stats).

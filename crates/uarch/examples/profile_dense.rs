@@ -1,0 +1,47 @@
+//! Profiling driver: run the bench sweep's compute-bound cell with the
+//! dense stepper a few times (`gprofng collect app` / `perf record`
+//! target). Not a benchmark — it exists so the dense path can be
+//! profiled without the sweep harness around it.
+
+use tlpsim_uarch::{ChipConfig, CoreConfig, MultiCore, ThreadProgram};
+use tlpsim_workloads::{spec, InstrStream};
+
+fn compute_bound_sim(budget: u64) -> MultiCore {
+    let chip = ChipConfig::homogeneous(4, CoreConfig::big(), 2.66);
+    let mut sim = MultiCore::new(&chip);
+    for i in 0..8u64 {
+        let p = if i % 2 == 0 {
+            spec::hmmer_like()
+        } else {
+            spec::gamess_like()
+        };
+        let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+            InstrStream::new(&p, i, 31),
+            1_000,
+            budget,
+        ));
+        sim.pin(t, (i % 4) as usize, (i / 4) as usize);
+    }
+    sim.prewarm();
+    sim
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+    let dense = std::env::args().nth(2).as_deref() != Some("skip");
+    for _ in 0..reps {
+        let mut sim = compute_bound_sim(120_000);
+        sim.set_cycle_skipping(!dense);
+        let t0 = std::time::Instant::now();
+        let r = sim.run().expect("completes");
+        println!(
+            "cycles={} instrs={} wall={:.3}s",
+            r.cycles,
+            r.threads.iter().map(|t| t.committed).sum::<u64>(),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}

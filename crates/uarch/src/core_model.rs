@@ -20,8 +20,7 @@
 //!   skipping stalled contexts).
 //! * **Commit**: shared `width`, round-robin across contexts.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use tlpsim_mem::{AccessKind, Addr, Cycle, MemorySystem};
 use tlpsim_workloads::InstrKind;
@@ -32,11 +31,31 @@ use crate::stats::CoreStats;
 use crate::ThreadId;
 
 const RING_MASK: u64 = (RING as u64) - 1;
+
 /// Max unissued entries inspected per context per cycle (scheduler
 /// selection-logic depth).
 const ISSUE_SCAN: usize = 32;
+/// Calendar-wheel span in cycles. Ready-times within `WHEEL` cycles of
+/// the last maturation sweep go in O(1) wheel buckets; anything
+/// farther (long memory latencies) takes the sorted far-calendar.
+const WHEEL: usize = 64;
+const WHEEL_MASK: u64 = (WHEEL as u64) - 1;
 /// Sentinel producer meaning "no register dependence".
 const NO_DEP: u64 = u64::MAX;
+/// Number of functional-unit pools (classes) in [`FuConfig`]:
+/// int-ALU/branch, mul/div, FP, load/store.
+const FU_CLASSES: usize = 4;
+
+/// The functional-unit pool an instruction kind issues through.
+#[inline]
+fn fu_class(kind: InstrKind) -> usize {
+    match kind {
+        InstrKind::IntAlu | InstrKind::Branch => 0,
+        InstrKind::IntMul | InstrKind::IntDiv => 1,
+        InstrKind::FpAlu => 2,
+        InstrKind::Load | InstrKind::Store => 3,
+    }
+}
 
 /// Why a context stopped fetching and must drain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +87,22 @@ struct RobEntry {
     mispredicted: bool,
     issued: bool,
     done_at: Cycle,
+    /// Producers not yet issued. While non-zero the entry is provably
+    /// not ready (an unissued producer cannot have completed); at zero
+    /// `ready_part` is its final ready-time.
+    nwait: u8,
+    /// Head of this entry's consumer wake chain: consumers that
+    /// dispatched before this entry issued, encoded as
+    /// `(consumer_seq - seq) << 1 | port` (0 = empty; deltas are ≥ 1
+    /// and bounded by the ROB size, so they fit easily). `port`
+    /// selects which of the consumer's two links continues the chain.
+    whead: u32,
+    /// Chain continuation for this entry's wait on `prod1` (port 0).
+    wnext1: u32,
+    /// Chain continuation for this entry's wait on `prod2` (port 1).
+    wnext2: u32,
+    /// Running max of already-issued producers' done-times.
+    ready_part: Cycle,
 }
 
 /// One SMT hardware context.
@@ -80,24 +115,65 @@ pub(crate) struct Slot {
     /// Sequence number of an in-flight mispredicted branch gating fetch.
     awaiting_redirect: Option<u64>,
     rob: VecDeque<RobEntry>,
-    /// Sequence numbers of not-yet-issued ROB entries, in program
-    /// order. Keeps the issue scan O(window) instead of O(ROB): with
-    /// deep memory-level parallelism the ROB is dominated by issued
-    /// in-flight entries the scan would otherwise re-walk every cycle.
-    /// Entries are consecutive per-thread seqs, so a seq maps to its
-    /// ROB index as `seq - rob.front().seq`.
+    /// Seqs of not-yet-issued ROB entries, in program order (= seq
+    /// order). This is the scheduler's *window*: the dense model
+    /// inspects only the first [`ISSUE_SCAN`] of these each cycle. A
+    /// seq maps to its ROB index as `seq - rob.front().seq`.
+    ///
+    /// Readiness itself is not re-derived by walking this queue.
+    /// Dependences are thread-local, so an entry's ready-time becomes
+    /// known — and final, since done-times never change after issue —
+    /// the moment its last producer issues. That event is delivered
+    /// eagerly through the wake chains in [`RobEntry`]; complete
+    /// entries park in the calendar ([`cal_wheel`](Self::cal_wheel) /
+    /// [`cal_far`](Self::cal_far)) until their ready cycle and in
+    /// [`active`](Self::active) afterwards, so the issue scan touches
+    /// only entries that can actually issue (DESIGN.md §10).
     unissued: VecDeque<u64>,
-    /// Completion times of issued entries, min-first. Stale values
-    /// (`<= now`) are pruned at each scan; anything later belongs to an
-    /// in-flight instruction (commit requires `done_at <= now`), so the
-    /// heap top is exactly the old full-walk `next_completion`.
-    done_heap: BinaryHeap<Reverse<Cycle>>,
+    /// Calendar wheel for complete entries (both producers issued)
+    /// whose ready-time is in the near future: bucket `r & WHEEL_MASK`
+    /// holds `(r, seq)` pairs becoming ready at cycle `r`, for `r`
+    /// within [`WHEEL`] cycles of the last maturation sweep
+    /// ([`cal_last`](Self::cal_last)). Push and pop are O(1);
+    /// `cal_occ` mirrors bucket non-emptiness so maturation after a
+    /// quiet gap visits only occupied buckets and the next wake-up
+    /// falls out of a rotate + `trailing_zeros`. The wheel (with
+    /// [`cal_far`](Self::cal_far)) is also the slot's exact issue
+    /// wake-up when nothing is ready: the front entry of `unissued`
+    /// always has every earlier instruction issued, hence is complete,
+    /// hence is in the calendar, in `active`, or in `spin` — so no
+    /// wake can be missed.
+    cal_wheel: [Vec<(Cycle, u64)>; WHEEL],
+    /// Bit `r & WHEEL_MASK` set ⇔ that wheel bucket is non-empty.
+    cal_occ: u64,
+    /// Cycle up to (and including) which wheel buckets are drained.
+    cal_last: Cycle,
+    /// Far calendar: `(ready_at, seq)` beyond the wheel span (long
+    /// memory latencies), sorted descending so maturation pops the
+    /// earliest from the tail.
+    cal_far: Vec<(Cycle, u64)>,
+    /// Complete entries whose ready-time has arrived but which have
+    /// not issued yet (functional-unit or window pressure), one
+    /// seq-sorted list per functional-unit class. The issue scan
+    /// merges the list heads in program order and skips a list
+    /// entirely the moment its FU pool runs out — a saturated unit
+    /// costs O(1) per scan instead of a denial per waiting entry.
+    active: [Vec<u64>; FU_CLASSES],
+    /// Entries with a dependence distance too long for the done-ring
+    /// to be trusted (`> ready_cache_max_dist`; cannot happen with the
+    /// bundled generators, whose dependence distances are ≤ 96).
+    /// Re-derived from the ring every scan, exactly like the dense
+    /// model's aliased reads.
+    spin: Vec<u64>,
     pub(crate) pending: Option<Pending>,
-    /// New work was dispatched since the last issue scan.
+    /// A ready-now entry appeared outside the issue scan (dispatch of
+    /// a born-ready instruction): scan next cycle regardless of
+    /// `issue_wake`.
     issue_dirty: bool,
     /// Earliest cycle at which a future issue scan can find work, when
     /// the last full scan found nothing ready (exact: dependences are
-    /// thread-local, so only a completion in this slot changes it).
+    /// thread-local, so readiness only changes through this slot's own
+    /// issues, the calendar maturing, or a new dispatch).
     issue_wake: Cycle,
 }
 
@@ -110,7 +186,12 @@ impl Slot {
             awaiting_redirect: None,
             rob: VecDeque::new(),
             unissued: VecDeque::new(),
-            done_heap: BinaryHeap::new(),
+            cal_wheel: std::array::from_fn(|_| Vec::new()),
+            cal_occ: 0,
+            cal_last: 0,
+            cal_far: Vec::new(),
+            active: std::array::from_fn(|_| Vec::new()),
+            spin: Vec::new(),
             pending: None,
             issue_dirty: true,
             issue_wake: 0,
@@ -145,14 +226,100 @@ impl Slot {
     pub(crate) fn on_switch_in(&mut self, now: Cycle, switch_penalty: u64, quantum: u64) {
         debug_assert!(self.rob.is_empty());
         debug_assert!(self.unissued.is_empty());
-        // Only stale completion times can remain (an empty ROB has
-        // nothing in flight); drop them rather than pruning lazily.
-        self.done_heap.clear();
+        // An empty ROB has nothing unissued, so the scheduler's
+        // queues drained with it.
+        debug_assert!(self.cal_occ == 0);
+        debug_assert!(self.cal_far.is_empty());
+        debug_assert!(self.active.iter().all(Vec::is_empty));
+        debug_assert!(self.spin.is_empty());
+        self.cal_last = now;
         self.fetch_blocked_until = now + switch_penalty;
         self.awaiting_redirect = None;
         self.quantum_left = quantum;
         self.issue_dirty = true;
         self.issue_wake = 0;
+    }
+
+    /// Park a complete entry until its ready cycle `r` (`> now`).
+    #[inline]
+    fn cal_push(&mut self, r: Cycle, seq: u64) {
+        if r <= self.cal_last + WHEEL as u64 {
+            let b = (r & WHEEL_MASK) as usize;
+            self.cal_wheel[b].push((r, seq));
+            self.cal_occ |= 1 << b;
+        } else {
+            // Descending by ready-time; ties pop in either order and
+            // land identically (the active insert sorts by seq).
+            let i = self.cal_far.partition_point(|&(t, _)| t > r);
+            self.cal_far.insert(i, (r, seq));
+        }
+    }
+
+    /// Move every calendar entry with ready-time `<= now` into
+    /// `active` (seq-sorted insert into its class list). Visits only
+    /// the wheel buckets that were occupied in the span since the
+    /// last sweep.
+    fn cal_mature(&mut self, now: Cycle) {
+        let base = self.rob.front().map_or(0, |e| e.seq);
+        if self.cal_occ != 0 {
+            let span = now - self.cal_last;
+            // Bit mask of bucket positions covering (cal_last, now].
+            let range = if span >= WHEEL as u64 {
+                !0u64
+            } else if span == 0 {
+                0
+            } else {
+                (!0u64 >> (WHEEL as u64 - span))
+                    .rotate_left(((self.cal_last + 1) & WHEEL_MASK) as u32)
+            };
+            let mut bits = self.cal_occ & range;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let mut i = 0;
+                while i < self.cal_wheel[b].len() {
+                    let (r, seq) = self.cal_wheel[b][i];
+                    if r <= now {
+                        self.cal_wheel[b].swap_remove(i);
+                        let c = fu_class(self.rob[(seq - base) as usize].kind);
+                        let j = self.active[c].partition_point(|&q| q < seq);
+                        self.active[c].insert(j, seq);
+                    } else {
+                        i += 1;
+                    }
+                }
+                if self.cal_wheel[b].is_empty() {
+                    self.cal_occ &= !(1 << b);
+                }
+            }
+        }
+        while let Some(&(r, seq)) = self.cal_far.last() {
+            if r > now {
+                break;
+            }
+            self.cal_far.pop();
+            let c = fu_class(self.rob[(seq - base) as usize].kind);
+            let j = self.active[c].partition_point(|&q| q < seq);
+            self.active[c].insert(j, seq);
+        }
+        self.cal_last = now;
+    }
+
+    /// Earliest calendar ready-time after `now` (`Cycle::MAX` if the
+    /// calendar is empty). Exact once [`cal_mature`](Self::cal_mature)
+    /// has run for `now`: every wheel entry then lies within
+    /// `(now, now + WHEEL]`, so its bucket position decodes its cycle.
+    #[inline]
+    fn cal_next(&self, now: Cycle) -> Cycle {
+        let mut next = self.cal_far.last().map_or(Cycle::MAX, |&(r, _)| r);
+        if self.cal_occ != 0 {
+            let rot = self.cal_occ.rotate_right(((now + 1) & WHEEL_MASK) as u32);
+            let w = now + 1 + rot.trailing_zeros() as u64;
+            if w < next {
+                next = w;
+            }
+        }
+        next
     }
 }
 
@@ -174,6 +341,15 @@ pub struct CoreModel {
     /// mutated since the value was computed (its event can only have
     /// *expired*, which the `> now` check at use-site handles).
     ev_valid: u64,
+    /// Longest dependence distance for which a ready-time may be
+    /// cached in `unissued`: `RING - rob_size`. Beyond it the
+    /// producer's `done_ring` slot could be re-dispatched while the
+    /// consumer is still in flight, so readiness must be re-derived
+    /// from the ring each scan (see [`Slot::unissued`]).
+    ready_cache_max_dist: u64,
+    /// Persistent scratch for the ICOUNT fetch-order sort — reused
+    /// across cycles so the hot path never allocates.
+    fetch_order: Vec<usize>,
     #[allow(dead_code)] // reserved for engine-side quantum refresh
     quantum: u64,
 }
@@ -184,10 +360,12 @@ impl CoreModel {
         let slots: Vec<Slot> = (0..cfg.smt_contexts).map(|_| Slot::new()).collect();
         debug_assert!(slots.len() <= 64, "event-cache bitmask is u64");
         CoreModel {
+            ready_cache_max_dist: (RING as u64).saturating_sub(u64::from(cfg.rob_size)),
             cfg,
             core_id,
             ev_cache: vec![0; slots.len()],
             ev_valid: 0,
+            fetch_order: Vec::new(),
             slots,
             rr_fetch: 0,
             rr_issue: 0,
@@ -252,14 +430,15 @@ impl CoreModel {
         self.slots.iter().map(|s| s.rob.len()).sum()
     }
 
-    /// Advance this core by one cycle.
+    /// Advance this core by one cycle. Returns the number of
+    /// instructions committed.
     pub(crate) fn cycle(
         &mut self,
         now: Cycle,
         mem: &mut MemorySystem,
         threads: &mut [ThreadCtl],
         events: &mut Vec<Drained>,
-    ) {
+    ) -> u64 {
         let nslots = self.slots.len();
         let active = self.active_contexts(threads);
         self.stats.cycles += 1;
@@ -271,12 +450,36 @@ impl CoreModel {
 
         // Fully unpopulated core: nothing can happen this cycle.
         if active == 0 && self.slots.iter().all(|s| s.threads.is_empty()) {
-            return;
+            return 0;
         }
 
-        self.commit(now, threads);
-        self.issue(now, mem, threads);
-        self.fetch_dispatch(now, mem, threads, cap);
+        // Burst-step bypass (DESIGN.md §10): a slot whose cached next
+        // event lies strictly beyond `now` provably neither commits,
+        // issues, nor dispatches this cycle (the §9 slot-event
+        // contract), so the phase loops skip it wholesale and the slot
+        // coasts through its quiet window without re-entering the
+        // scheduler. With skipping disabled the cache is never
+        // populated (`ev_valid == 0`), so the dense stepper remains
+        // the untouched reference path.
+        let mut quiet = 0u64;
+        let mut bits = self.ev_valid;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if self.ev_cache[i] > now {
+                quiet |= 1 << i;
+            }
+        }
+
+        let committed = self.commit(now, threads, quiet);
+        // Re-mask against the bits still valid after each phase: a
+        // phase that invalidates a slot's cached event (e.g. a
+        // shared-ROB commit opens dispatch room for *every* slot) has
+        // made the start-of-cycle mask stale for the phases after it.
+        let quiet = quiet & self.ev_valid;
+        self.issue(now, mem, threads, quiet);
+        let quiet = quiet & self.ev_valid;
+        self.fetch_dispatch(now, mem, threads, cap, quiet);
 
         // Time-sharing quantum accounting. The decrement itself keeps
         // the cached `now + quantum_left` event invariant; only the
@@ -318,6 +521,7 @@ impl CoreModel {
         self.ev_valid &= !inv;
 
         let _ = nslots;
+        committed
     }
 
     /// Next-event surface for the fast-forwarding engine: the earliest
@@ -520,7 +724,10 @@ impl CoreModel {
         }
     }
 
-    fn commit(&mut self, now: Cycle, threads: &mut [ThreadCtl]) {
+    /// Returns the number of instructions committed this cycle (the
+    /// engine keeps a chip-wide running total for its watchdog and
+    /// busy-cycle gates instead of re-summing every thread per cycle).
+    fn commit(&mut self, now: Cycle, threads: &mut [ThreadCtl], quiet: u64) -> u64 {
         let mut budget = self.cfg.width as usize;
         let nslots = self.slots.len();
         let start = self.rr_commit;
@@ -531,6 +738,9 @@ impl CoreModel {
                 break;
             }
             let slot_idx = (start + k) % nslots;
+            if quiet & (1 << slot_idx) != 0 {
+                continue; // inside its quiet window: head can't be done
+            }
             let s = &mut self.slots[slot_idx];
             let Some(tid) = s.resident() else { continue };
             let before = budget;
@@ -571,11 +781,14 @@ impl CoreModel {
             Some(i) => (i + 1) % nslots.max(1),
             None => (start + 1) % nslots.max(1),
         };
+        (self.cfg.width as usize - budget) as u64
     }
 
-    fn issue(&mut self, now: Cycle, mem: &mut MemorySystem, threads: &mut [ThreadCtl]) {
+    fn issue(&mut self, now: Cycle, mem: &mut MemorySystem, threads: &mut [ThreadCtl], quiet: u64) {
         let mut budget = self.cfg.width as usize;
-        let mut fu = self.cfg.fus;
+        // Pool capacities indexed by FU class (see [`fu_class`]).
+        let fus = self.cfg.fus;
+        let mut fu = [fus.int_alu, fus.muldiv, fus.fp, fus.ldst];
         let nslots = self.slots.len();
         let inorder = self.cfg.class == CoreClass::InOrder;
         let penalty = self.cfg.mispredict_penalty;
@@ -589,118 +802,273 @@ impl CoreModel {
                 break;
             }
             let slot_idx = (start + k) % nslots;
+            if quiet & (1 << slot_idx) != 0 {
+                continue; // quiet window: the wake gate below would skip it
+            }
             let s = &mut self.slots[slot_idx];
             let Some(tid) = s.resident() else { continue };
-            // Readiness in a slot only changes when one of its own
-            // in-flight instructions completes (dependences are
-            // thread-local) or when new instructions dispatch. If a
-            // previous full scan found nothing ready, sleep until the
-            // next completion.
+            // Readiness in a slot only changes through its own issues
+            // (delivered via wake chains inside this very scan), the
+            // calendar maturing, or a born-ready dispatch (which sets
+            // `issue_dirty`). If the last scan found nothing, sleep
+            // until the calendar's next ready-time.
             if !s.issue_dirty && s.issue_wake > now {
                 continue;
             }
-            let ring = &mut threads[tid].done_ring;
+            // Mature the calendar: complete entries whose ready-time
+            // has arrived become issue candidates, kept in seq order
+            // because issue priority is program order.
+            s.cal_mature(now);
+            if s.active.iter().all(Vec::is_empty) && s.spin.is_empty() {
+                s.issue_dirty = false;
+                s.issue_wake = s.cal_next(now);
+                continue;
+            }
 
+            let ring = &mut threads[tid].done_ring;
+            let base_seq = s.rob.front().map_or(0, |e| e.seq);
+            // The dense window: only the first ISSUE_SCAN unissued
+            // entries (as of scan start) are eligible. Entries issued
+            // mid-scan stay in place (marked via the ROB `issued`
+            // flag) and are compacted out in one pass afterwards, so
+            // ranks are stable scan-start indices throughout.
+            let wlen = s.unissued.len().min(ISSUE_SCAN);
+            // Largest in-window seq: entry `q` has window rank < wlen
+            // iff `q <= wlast` (the queue is seq-sorted).
+            let wlast = s.unissued[wlen - 1];
             let mut issued_here = 0usize;
             let mut fu_blocked = false;
-            // Scheduler selection: inspect the oldest ISSUE_SCAN
-            // not-yet-issued entries (the `unissued` queue — issued
-            // in-flight entries cost nothing, unlike a raw ROB walk).
-            let base_seq = s.rob.front().map_or(0, |e| e.seq);
-            let mut kept = [0u64; ISSUE_SCAN];
-            let mut nkept = 0usize;
-            let mut taken = 0usize;
-            while taken < s.unissued.len() && taken < ISSUE_SCAN {
-                if budget == 0 {
-                    // Shared width gone mid-scan: an issue consumed it
-                    // (the outer loop never enters a slot at zero), so
-                    // `issued_here > 0` already forces a rescan.
+            let mut first_rank = 0usize;
+            let mut last_rank = 0usize;
+            let mut cur = [0usize; FU_CLASSES];
+            let mut si = 0usize;
+            let mut rp = 0usize;
+            // Classes whose FU pool still has capacity. An exhausted
+            // class with a ready in-window entry blocks exactly like a
+            // dense denial would (the head is the class's oldest
+            // entry, so checking it suffices); setting the flag for an
+            // entry the dense scan would not have reached only wakes
+            // the slot a cycle early, which the contract permits.
+            let mut alive = 0u8;
+            for (c, &pool) in fu.iter().enumerate() {
+                if pool > 0 {
+                    alive |= 1 << c;
+                } else if s.active[c].first().is_some_and(|&h| h <= wlast) {
                     fu_blocked = true;
-                    break;
                 }
-                let seq = s.unissued[taken];
-                taken += 1;
-                let e = &mut s.rob[(seq - base_seq) as usize];
-                let r1 = e.prod1 == NO_DEP || ring[(e.prod1 & RING_MASK) as usize] <= now;
-                let r2 = e.prod2 == NO_DEP || ring[(e.prod2 & RING_MASK) as usize] <= now;
-                if !(r1 && r2) {
-                    kept[nkept] = seq;
-                    nkept += 1;
-                    if inorder {
-                        break; // strict program-order issue
-                    }
-                    continue;
-                }
-                // Functional-unit availability.
-                let unit = match e.kind {
-                    InstrKind::IntAlu | InstrKind::Branch => &mut fu.int_alu,
-                    InstrKind::IntMul | InstrKind::IntDiv => &mut fu.muldiv,
-                    InstrKind::FpAlu => &mut fu.fp,
-                    InstrKind::Load | InstrKind::Store => &mut fu.ldst,
-                };
-                if *unit == 0 {
-                    fu_blocked = true; // ready entry exists; retry next cycle
-                    kept[nkept] = seq;
-                    nkept += 1;
-                    if inorder {
+            }
+            loop {
+                // Next alias-unsafe candidate, readiness re-derived
+                // from the ring lazily — after any ring writes from
+                // earlier issues this cycle, exactly like the dense
+                // reference's in-window reads. In practice `spin` is
+                // empty and this loop body never runs.
+                let mut next_spin = u64::MAX;
+                while si < s.spin.len() {
+                    let q = s.spin[si];
+                    let e = &s.rob[(q - base_seq) as usize];
+                    let r1 = if e.prod1 == NO_DEP {
+                        0
+                    } else {
+                        ring[(e.prod1 & RING_MASK) as usize]
+                    };
+                    let r2 = if e.prod2 == NO_DEP {
+                        0
+                    } else {
+                        ring[(e.prod2 & RING_MASK) as usize]
+                    };
+                    if r1 <= now && r2 <= now {
+                        next_spin = q;
                         break;
                     }
-                    continue;
+                    si += 1;
                 }
-                *unit -= 1;
+                // Merge the live class heads in program order. Spin is
+                // folded in as a fifth (near-always absent) source.
+                let mut seq = next_spin;
+                let mut pick = FU_CLASSES;
+                for (c, &cu) in cur.iter().enumerate() {
+                    if alive & (1 << c) != 0 {
+                        if let Some(&h) = s.active[c].get(cu) {
+                            if h < seq {
+                                seq = h;
+                                pick = c;
+                            }
+                        }
+                    }
+                }
+                if seq == u64::MAX {
+                    break;
+                }
+                // Candidates arrive in ascending seq and the queue is
+                // seq-sorted, so the rank cursor only moves forward —
+                // at most `wlen` single steps across the whole scan —
+                // and once one candidate falls outside the window all
+                // later ones do too.
+                while rp < wlen && s.unissued[rp] < seq {
+                    rp += 1;
+                }
+                if rp >= wlen {
+                    break;
+                }
+                let rank = rp;
+                if inorder && rank != issued_here {
+                    // Strict program order: nothing issues past the
+                    // oldest waiting entry.
+                    break;
+                }
+                let idx = (seq - base_seq) as usize;
+                let kind = s.rob[idx].kind;
+                if pick == FU_CLASSES {
+                    // Spin entries carry no class list; check their
+                    // pool the dense way.
+                    let c = fu_class(kind);
+                    if fu[c] == 0 {
+                        fu_blocked = true; // ready entry denied; retry next cycle
+                        si += 1;
+                        if inorder {
+                            break;
+                        }
+                        continue;
+                    }
+                    fu[c] -= 1;
+                    if fu[c] == 0 {
+                        alive &= !(1 << c);
+                        if s.active[c].get(cur[c]).is_some_and(|&h| h <= wlast) {
+                            fu_blocked = true;
+                        }
+                    }
+                } else {
+                    fu[pick] -= 1;
+                    cur[pick] += 1;
+                    if fu[pick] == 0 {
+                        alive &= !(1 << pick);
+                        if s.active[pick].get(cur[pick]).is_some_and(|&h| h <= wlast) {
+                            fu_blocked = true;
+                        }
+                    }
+                }
                 budget -= 1;
                 issued_here += 1;
                 self.stats.issued += 1;
 
-                let done_at = match e.kind {
+                let done_at = match kind {
                     InstrKind::Load => {
-                        mem.access(core_id, AccessKind::Load, e.addr, now)
+                        mem.access(core_id, AccessKind::Load, s.rob[idx].addr, now)
                             .complete_at
                     }
                     InstrKind::Store => {
                         // Stores retire through the store buffer; the
                         // access updates cache/bus state but does not
                         // stall dependents or commit.
-                        mem.access(core_id, AccessKind::Store, e.addr, now);
+                        mem.access(core_id, AccessKind::Store, s.rob[idx].addr, now);
                         now + 1
                     }
                     k => now + k.exec_latency(),
                 };
-                e.issued = true;
-                e.done_at = done_at;
-                if done_at > now {
-                    s.done_heap.push(Reverse(done_at));
-                }
-                ring[(e.seq & RING_MASK) as usize] = done_at;
+                let (mispredicted, mut chain) = {
+                    let e = &mut s.rob[idx];
+                    e.issued = true;
+                    e.done_at = done_at;
+                    let c = e.whead;
+                    e.whead = 0;
+                    (e.mispredicted, c)
+                };
+                ring[(seq & RING_MASK) as usize] = done_at;
 
-                if e.mispredicted && s.awaiting_redirect == Some(e.seq) {
+                // Wake consumers that dispatched before this issue:
+                // their ready-times are final once their last producer
+                // issues. Almost always `done_at > now`, so they park
+                // on the calendar; an MSHR-merged load can complete at
+                // exactly `now`, making a consumer ready within this
+                // same scan — it joins `active` ahead of the cursor
+                // (consumer seqs exceed the producer's) just as the
+                // dense in-window read would see it.
+                while chain != 0 {
+                    let delta = (chain >> 1) as usize;
+                    let port = chain & 1;
+                    let (ready, cseq, r, ckind) = {
+                        let ce = &mut s.rob[idx + delta];
+                        chain = if port == 0 { ce.wnext1 } else { ce.wnext2 };
+                        if ce.ready_part < done_at {
+                            ce.ready_part = done_at;
+                        }
+                        ce.nwait -= 1;
+                        (ce.nwait == 0, ce.seq, ce.ready_part, ce.kind)
+                    };
+                    if ready {
+                        if r <= now {
+                            let c = fu_class(ckind);
+                            let i = s.active[c].partition_point(|&q| q < cseq);
+                            s.active[c].insert(i, cseq);
+                            if alive & (1 << c) == 0 && cseq <= wlast {
+                                // Woken into an exhausted class inside
+                                // the window: a dense scan would deny
+                                // it later this cycle.
+                                fu_blocked = true;
+                            }
+                        } else {
+                            s.cal_push(r, cseq);
+                        }
+                    }
+                }
+
+                if mispredicted && s.awaiting_redirect == Some(seq) {
                     s.awaiting_redirect = None;
                     s.fetch_blocked_until = done_at + penalty;
                 }
-            }
-            // Replace the inspected prefix with its unissued survivors.
-            if taken > nkept {
-                s.unissued.drain(..taken);
-                for &seq in kept[..nkept].iter().rev() {
-                    s.unissued.push_front(seq);
+                // An issued class-list candidate merely advanced its
+                // cursor above; the consumed prefixes are drained once
+                // after the loop (a per-issue `remove` would memmove
+                // the tail every time). `spin` is near-always empty,
+                // so it keeps the simple eager remove.
+                if pick == FU_CLASSES {
+                    s.spin.remove(si);
                 }
-            }
-            // Earliest in-flight completion: prune stale heap tops
-            // (committed entries always completed in the past, so
-            // anything left above `now` is in flight).
-            while let Some(&Reverse(t_done)) = s.done_heap.peek() {
-                if t_done > now {
+                if issued_here == 1 {
+                    first_rank = rank;
+                }
+                last_rank = rank;
+
+                if budget == 0 {
+                    // Dense semantics: the width ran out with window
+                    // entries still uninspected => blocked, rescan
+                    // next cycle.
+                    if rank + 1 < wlen {
+                        fu_blocked = true;
+                    }
                     break;
                 }
-                s.done_heap.pop();
             }
-            let next_completion = s.done_heap.peek().map_or(Cycle::MAX, |&Reverse(t)| t);
-            // Record when this slot could next make issue progress.
-            s.issue_dirty = false;
+            if issued_here > 0 {
+                // Close the holes the issues left, in one pass each:
+                // an entry survives iff it has not issued. The region
+                // past the cursors was never touched.
+                let mut w = first_rank;
+                for r in first_rank..=last_rank {
+                    let q = s.unissued[r];
+                    if !s.rob[(q - base_seq) as usize].issued {
+                        s.unissued[w] = q;
+                        w += 1;
+                    }
+                }
+                s.unissued.drain(w..=last_rank);
+                // Class-list prefixes up to each cursor hold exactly
+                // the entries issued this scan (cursors advance only
+                // on issue, and mid-scan wakes insert at or past
+                // them).
+                for (c, &cu) in cur.iter().enumerate() {
+                    if cu > 0 {
+                        s.active[c].drain(..cu);
+                    }
+                }
+            }
+
+            s.issue_dirty = !s.spin.is_empty();
             s.issue_wake = if issued_here > 0 || fu_blocked {
                 now + 1
             } else {
-                next_completion
+                s.cal_next(now)
             };
             if issued_here > 0 {
                 last_granted = Some(slot_idx);
@@ -725,10 +1093,12 @@ impl CoreModel {
         mem: &mut MemorySystem,
         threads: &mut [ThreadCtl],
         cap: usize,
+        quiet: u64,
     ) {
         let nslots = self.slots.len();
         let width = self.cfg.width as usize;
         let core_id = self.core_id;
+        let max_dist = self.ready_cache_max_dist;
         // RR.2.W policy: up to two contexts share the fetch width each
         // cycle (Tullsen et al.; the single-context case degenerates to
         // plain round-robin).
@@ -738,18 +1108,17 @@ impl CoreModel {
         let mut any_runnable = false;
 
         // Context visit order: round-robin from the grant pointer, or
-        // fewest-in-flight-first for ICOUNT.
+        // fewest-in-flight-first for ICOUNT. The ICOUNT sort runs in
+        // the persistent `fetch_order` scratch (taken out of `self` to
+        // sidestep the borrow, restored below) so it never allocates.
         let start = self.rr_fetch;
-        // ICOUNT visits contexts fewest-in-flight-first; round-robin
-        // (the paper's policy, and the hot path) avoids the sort.
-        let icount_order: Option<Vec<usize>> = match self.cfg.fetch_policy {
-            FetchPolicy::RoundRobin => None,
-            FetchPolicy::ICount => {
-                let mut v: Vec<usize> = (0..nslots).collect();
-                v.sort_by_key(|&i| (self.slots[i].rob.len(), (i + nslots - start) % nslots));
-                Some(v)
-            }
-        };
+        let use_icount = self.cfg.fetch_policy == FetchPolicy::ICount;
+        let mut order = std::mem::take(&mut self.fetch_order);
+        if use_icount {
+            order.clear();
+            order.extend(0..nslots);
+            order.sort_by_key(|&i| (self.slots[i].rob.len(), (i + nslots - start) % nslots));
+        }
         let shared_rob = self.cfg.rob_sharing == RobSharing::Shared;
         let rob_size = self.cfg.rob_size as usize;
         let mut total_occ = if shared_rob {
@@ -759,13 +1128,34 @@ impl CoreModel {
         };
         let mut last_granted = None;
         let mut inv = 0u64;
+        // `order` is only populated (and only indexed) under ICOUNT;
+        // the round-robin arm derives the slot arithmetically, so a
+        // unified iterator over one source does not exist.
+        #[allow(clippy::needless_range_loop)]
         for k in 0..nslots {
-            let slot_idx = match &icount_order {
-                None => (start + k) % nslots,
-                Some(v) => v[k],
+            let slot_idx = if use_icount {
+                order[k]
+            } else {
+                (start + k) % nslots
             };
             if budget == 0 || fetchers == max_fetchers {
                 break;
+            }
+            if quiet & (1 << slot_idx) != 0 {
+                // Quiet window: the slot provably dispatches nothing,
+                // but a fetch-eligible context with a full partition
+                // still counts for the fetch-idle accounting, exactly
+                // as the checks below would conclude.
+                let s = &self.slots[slot_idx];
+                if let Some(tid) = s.resident() {
+                    if s.pending.is_none()
+                        && s.fetch_blocked_until <= now
+                        && threads[tid].state == ProgramState::Runnable
+                    {
+                        any_runnable = true;
+                    }
+                }
+                continue;
             }
             let s = &mut self.slots[slot_idx];
             let Some(tid) = s.resident() else { continue };
@@ -827,21 +1217,83 @@ impl CoreModel {
                         seq - u64::from(dist)
                     }
                 };
+                let prod1 = to_prod(instr.src1_dist);
+                let prod2 = to_prod(instr.src2_dist);
+                // Dependence resolution at dispatch (DESIGN.md §10):
+                // producers that already issued contribute their final
+                // done-times; still-unissued producers get a
+                // wake-chain link and deliver theirs when they issue.
+                // Either way readiness is exact from here on and no
+                // scan ever re-derives it. Dependences farther than
+                // the ring's alias-safe span take the conservative
+                // `spin` path instead.
+                let aliased = (prod1 != NO_DEP && seq - prod1 > max_dist)
+                    || (prod2 != NO_DEP && seq - prod2 > max_dist);
+                let mut nwait = 0u8;
+                let mut part: Cycle = 0;
+                let mut wnext1 = 0u32;
+                let mut wnext2 = 0u32;
+                if !aliased {
+                    for (port, prod) in [(0u32, prod1), (1u32, prod2)] {
+                        if prod == NO_DEP {
+                            continue;
+                        }
+                        let v = t.done_ring[(prod & RING_MASK) as usize];
+                        if v == Cycle::MAX {
+                            // Dispatched but not yet issued, so the
+                            // producer still sits in this slot's ROB.
+                            let base = s.rob.front().expect("unissued producer is in the ROB").seq;
+                            let pe = &mut s.rob[(prod - base) as usize];
+                            let enc = (((seq - prod) as u32) << 1) | port;
+                            if port == 0 {
+                                wnext1 = pe.whead;
+                            } else {
+                                wnext2 = pe.whead;
+                            }
+                            pe.whead = enc;
+                            nwait += 1;
+                        } else if part < v {
+                            part = v;
+                        }
+                    }
+                }
                 s.rob.push_back(RobEntry {
                     seq,
                     kind: instr.kind,
-                    prod1: to_prod(instr.src1_dist),
-                    prod2: to_prod(instr.src2_dist),
+                    prod1,
+                    prod2,
                     addr: instr.addr,
                     mispredicted: instr.mispredicted,
                     issued: false,
                     done_at: 0,
+                    nwait,
+                    whead: 0,
+                    wnext1,
+                    wnext2,
+                    ready_part: part,
                 });
                 s.unissued.push_back(seq);
+                if aliased {
+                    s.spin.push(seq);
+                    s.issue_dirty = true;
+                } else if nwait == 0 {
+                    if part <= now {
+                        // Born ready: an issue candidate from the next
+                        // cycle on (dispatch follows issue within the
+                        // cycle). Largest seq in the slot, so pushing
+                        // keeps the class list sorted.
+                        s.active[fu_class(instr.kind)].push(seq);
+                        s.issue_dirty = true;
+                    } else {
+                        s.cal_push(part, seq);
+                        if s.issue_wake > part {
+                            s.issue_wake = part;
+                        }
+                    }
+                }
                 fetched += 1;
                 total_occ += 1;
                 self.stats.dispatched += 1;
-                s.issue_dirty = true;
 
                 if instr.mispredicted {
                     // Fetch stops until the branch executes.
@@ -865,6 +1317,7 @@ impl CoreModel {
                 last_granted = Some(slot_idx);
             }
         }
+        self.fetch_order = order;
         self.ev_valid &= !inv;
         self.rr_fetch = match last_granted {
             Some(i) => (i + 1) % nslots.max(1),

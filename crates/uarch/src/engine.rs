@@ -184,6 +184,14 @@ pub struct MultiCore {
     roi_barriers: Option<(u32, u32)>,
     recording: bool,
     events: Vec<Drained>,
+    /// Second buffer the per-cycle `events` are swapped into while they
+    /// resolve, so both retain their capacity across event cycles and
+    /// the steady-state step never allocates.
+    events_scratch: Vec<Drained>,
+    /// Chip-wide committed-instruction total, maintained incrementally
+    /// from each core's per-cycle commit count (replaces an O(threads)
+    /// re-sum every cycle in the run loop's watchdog and skip gates).
+    total_committed: u64,
     watchdog_window: Cycle,
     /// Fast-forward over quiescent cycles (default on; disabled by
     /// `TLPSIM_NO_SKIP=1` or [`set_cycle_skipping`](Self::set_cycle_skipping)).
@@ -221,6 +229,8 @@ impl MultiCore {
             roi_barriers: None,
             recording: true,
             events: Vec::new(),
+            events_scratch: Vec::new(),
+            total_committed: 0,
             watchdog_window: DEFAULT_WATCHDOG_CYCLES,
             skip_enabled: !no_skip_env(),
             skipped_cycles: 0,
@@ -376,16 +386,17 @@ impl MultiCore {
         // Gate for the quiescence scan: a cycle that committed
         // instructions is certainly busy, so `next_event` would return
         // `now + 1` and even the cached per-slot scan would be wasted.
-        // Tracking the chip-wide commit count is a few adds per cycle
-        // and prunes the scan to genuinely idle-looking cycles.
-        let mut prev_committed = 0u64;
+        // `total_committed` is maintained incrementally by `step`, so
+        // both this gate and the watchdog read it for free.
+        self.total_committed = self.threads.iter().map(|t| t.committed).sum();
+        let mut prev_committed = self.total_committed;
         while !self.finished() {
             self.step();
             if self.now > limit {
                 return Err(RunError::CycleLimit { limit });
             }
             if self.now & check_mask == 0 {
-                let committed: u64 = self.threads.iter().map(|t| t.committed).sum();
+                let committed = self.total_committed;
                 if committed == last_progress_commits {
                     if self.now - last_progress_cycle > self.watchdog_window {
                         return Err(RunError::Stalled {
@@ -406,7 +417,7 @@ impl MultiCore {
             if !self.skip_enabled || self.finished() {
                 continue;
             }
-            let committed: u64 = self.threads.iter().map(|t| t.committed).sum();
+            let committed = self.total_committed;
             let progressed = committed != prev_committed;
             prev_committed = committed;
             if progressed {
@@ -578,18 +589,27 @@ impl MultiCore {
                 if core.next_event(prev, &self.threads) > now {
                     core.fast_forward(prev, 1, &self.threads);
                 } else {
-                    core.cycle(now, &mut self.mem, &mut self.threads, &mut self.events);
+                    self.total_committed +=
+                        core.cycle(now, &mut self.mem, &mut self.threads, &mut self.events);
                 }
             }
         } else {
             for core in self.cores.iter_mut() {
-                core.cycle(now, &mut self.mem, &mut self.threads, &mut self.events);
+                self.total_committed +=
+                    core.cycle(now, &mut self.mem, &mut self.threads, &mut self.events);
             }
         }
-        let events = std::mem::take(&mut self.events);
-        let had_events = !events.is_empty();
-        for ev in events {
-            self.resolve(ev);
+        // Swap the drained events into the scratch buffer to resolve
+        // them (resolve needs `&mut self`); both Vecs keep their
+        // capacity, so event cycles stop re-allocating the buffer.
+        let had_events = !self.events.is_empty();
+        if had_events {
+            std::mem::swap(&mut self.events, &mut self.events_scratch);
+            for i in 0..self.events_scratch.len() {
+                let ev = self.events_scratch[i];
+                self.resolve(ev);
+            }
+            self.events_scratch.clear();
         }
         self.reschedule_slots();
         if had_events {

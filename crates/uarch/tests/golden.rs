@@ -1,0 +1,163 @@
+//! Golden-digest anchors: the simulator's observable behavior, frozen.
+//!
+//! The differential suite in `equivalence.rs` proves the fast-forward
+//! and dense engines agree with *each other*, but both could drift
+//! together if an "optimization" silently changed simulated behavior.
+//! These tests pin a digest of the full [`RunResult`] for a spread of
+//! configurations to values recorded from the pre-optimization stepper,
+//! so any change to simulated timing — not just engine divergence —
+//! fails loudly.
+//!
+//! To regenerate after an *intentional* model change (never for a
+//! perf-only change):
+//!
+//! ```text
+//! TLPSIM_PRINT_GOLDEN=1 cargo test -q -p tlpsim-uarch --test golden -- --nocapture
+//! ```
+
+use tlpsim_uarch::{
+    ChipConfig, CoreConfig, FetchPolicy, MultiCore, RobSharing, RunResult, ThreadProgram,
+};
+use tlpsim_workloads::{parsec, spec, InstrStream, Segment};
+
+/// FNV-1a over the `Debug` rendering of the full result. The Debug
+/// format covers every field (cycles, per-thread stats, histograms,
+/// cache/bus/DRAM counters), so any behavioral drift perturbs it.
+fn digest(r: &RunResult) -> u64 {
+    let s = format!("{r:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn print_mode() -> bool {
+    std::env::var("TLPSIM_PRINT_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Run `mk` with both engines, assert they agree, then check (or
+/// print) the digest of the common result.
+fn check(name: &str, expected: u64, mk: impl Fn() -> MultiCore) {
+    let mut fast = mk();
+    fast.set_cycle_skipping(true);
+    let rf = fast.run().expect("fast run completes");
+    let mut dense = mk();
+    dense.set_cycle_skipping(false);
+    let rd = dense.run().expect("dense run completes");
+    assert_eq!(rf, rd, "engines diverged on golden config {name}");
+    let d = digest(&rd);
+    if print_mode() {
+        println!("golden {name}: 0x{d:016x}");
+    } else {
+        assert_eq!(
+            d, expected,
+            "golden digest changed for {name}: got 0x{d:016x}, expected 0x{expected:016x} \
+             — simulated behavior drifted from the recorded stepper"
+        );
+    }
+}
+
+fn multiprogram(chip: &ChipConfig) -> MultiCore {
+    let mut sim = MultiCore::new(chip);
+    let profiles = [
+        spec::mcf_like(),
+        spec::hmmer_like(),
+        spec::libquantum_like(),
+        spec::gamess_like(),
+    ];
+    let slots = chip.cores[0].smt_contexts as usize;
+    for (i, p) in profiles.iter().enumerate() {
+        let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+            InstrStream::new(p, i as u64, 42),
+            1_000,
+            6_000,
+        ));
+        if slots > 1 {
+            sim.pin(t, i % 2, (i / 2) % slots);
+        } else {
+            sim.pin(t, i % 2, 0);
+        }
+    }
+    sim.prewarm();
+    sim
+}
+
+#[test]
+fn golden_big_smt_multiprogram() {
+    let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66);
+    check("big_smt", 0xcd474bf05fa603a5, || multiprogram(&chip));
+}
+
+#[test]
+fn golden_small_nosmt_multiprogram() {
+    let chip = ChipConfig::homogeneous(2, CoreConfig::small(), 2.66).without_smt();
+    check("small_nosmt", 0xdb44fa3196340de9, || multiprogram(&chip));
+}
+
+#[test]
+fn golden_icount_shared_rob() {
+    let mut core = CoreConfig::big();
+    core.fetch_policy = FetchPolicy::ICount;
+    core.rob_sharing = RobSharing::Shared;
+    let chip = ChipConfig::homogeneous(2, core, 2.66);
+    check("icount_shared", 0x86e1e7c66d398dfa, || multiprogram(&chip));
+}
+
+#[test]
+fn golden_barrier_parsec() {
+    let chip = ChipConfig::homogeneous(4, CoreConfig::big(), 2.66);
+    let app = parsec::streamcluster_like();
+    check("barrier_parsec", 0x6138e0d297f6bb6c, || {
+        let w = app.instantiate(8, 3_000, 7);
+        let mut sim = MultiCore::new(&chip);
+        let n_cores = chip.cores.len();
+        let max_barrier = w
+            .threads
+            .iter()
+            .flatten()
+            .filter_map(|s| match s {
+                Segment::Barrier { id } => Some(*id),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        for (i, segs) in w.threads.iter().enumerate() {
+            let stream = InstrStream::new(&w.profile, i as u64, 99).with_shared_region(
+                0x4000_0000_0000,
+                w.shared_bytes,
+                w.shared_frac,
+            );
+            let t = sim.add_thread(ThreadProgram::segmented(stream, segs.clone()));
+            let slots = chip.cores[i % n_cores].smt_contexts as usize;
+            sim.pin(t, i % n_cores, (i / n_cores) % slots);
+        }
+        sim.set_roi_barriers(0, max_barrier);
+        sim.prewarm();
+        sim
+    });
+}
+
+#[test]
+fn golden_time_sharing_overload() {
+    let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66).without_smt();
+    check("time_sharing", 0x425e41efe083d5f6, || {
+        let mut sim = MultiCore::new(&chip);
+        for i in 0..6u64 {
+            let p = if i % 2 == 0 {
+                spec::mcf_like()
+            } else {
+                spec::gcc_like()
+            };
+            let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+                InstrStream::new(&p, i, 17),
+                500,
+                4_000,
+            ));
+            sim.pin(t, (i % 2) as usize, 0);
+        }
+        sim.prewarm();
+        sim
+    });
+}

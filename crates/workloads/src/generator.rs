@@ -199,7 +199,12 @@ impl InstrStream {
             // Jump to a random (aligned) location in the code footprint.
             self.pc = self.rng.below(self.profile.code_bytes / 16) * 16;
         } else {
-            self.pc = (self.pc + 4) % self.profile.code_bytes;
+            // `pc < code_bytes` always holds, so the sequential wrap is
+            // a single compare instead of a 64-bit remainder.
+            self.pc += 4;
+            if self.pc >= self.profile.code_bytes {
+                self.pc -= self.profile.code_bytes;
+            }
         }
         fetch
     }
