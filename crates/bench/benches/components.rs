@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use tlpsim_core::executor::par_map;
 use tlpsim_mem::{AccessKind, Addr, Cache, CacheConfig, MemoryConfig, MemorySystem};
-use tlpsim_uarch::{ChipConfig, CoreConfig, MultiCore, ThreadProgram};
+use tlpsim_uarch::{ChipConfig, CoreConfig, MultiCore, ThreadProgram, TraceSink, Tracer};
 use tlpsim_workloads::{spec, InstrStream};
 
 /// Time `iters` runs of `f` (after a small warmup) and print ns/op.
@@ -155,8 +155,14 @@ fn llc_thrash_sim(budget: u64) -> MultiCore {
 /// the skip ratio (and speedup) should be modest. Guards against the
 /// detector claiming skips on busy chips.
 fn compute_bound_sim(budget: u64) -> MultiCore {
+    compute_bound_sim_with(budget, tlpsim_uarch::NopSink)
+}
+
+/// Same cell with an arbitrary trace sink attached (the tracing
+/// overhead A/B runs it once per sink type).
+fn compute_bound_sim_with<S: TraceSink>(budget: u64, sink: S) -> MultiCore<S> {
     let chip = ChipConfig::homogeneous(4, CoreConfig::big(), 2.66);
-    let mut sim = MultiCore::new(&chip);
+    let mut sim = MultiCore::with_sink(&chip, sink);
     for i in 0..8u64 {
         let p = if i % 2 == 0 {
             spec::hmmer_like()
@@ -320,6 +326,85 @@ fn bench_dense_throughput(smoke: bool) -> String {
     )
 }
 
+/// Simulated-cycle throughput of the dense compute-bound cell on the
+/// PR 3 reference host, from the committed `BENCH_pr3.json`
+/// (`dense_throughput.mcycles_per_s_dense`). The tracing-disabled
+/// path must stay within 5% of it — the monomorphized `NopSink`
+/// build's zero-cost claim, enforced where the hardware matches.
+const PR3_DENSE_MCPS: f64 = 0.329;
+
+/// Tracing-overhead A/B (DESIGN.md §11): the dense compute-bound cell
+/// run with the default `NopSink` (tracing compiled out) and again
+/// with the full `Tracer` (CPI stacks + event ring). Reports both
+/// throughputs and their ratio; min-of-reps for the same reason as
+/// [`bench_dense_throughput`].
+///
+/// The disabled path is additionally held to the PR 3 dense-path
+/// figure in full (non-smoke) runs, where the host is the reference
+/// host; smoke runs on arbitrary CI hardware keep the catastrophe
+/// floor only.
+fn bench_trace_overhead(smoke: bool) -> String {
+    let budget: u64 = if smoke { 20_000 } else { 120_000 };
+    let reps = if smoke { 3 } else { 7 };
+
+    let mut wall_off = f64::MAX;
+    let mut cycles_off = 0u64;
+    for _ in 0..reps {
+        let mut sim = compute_bound_sim(budget);
+        sim.set_cycle_skipping(false);
+        let t0 = Instant::now();
+        let r = sim.run().expect("untraced dense run completes");
+        wall_off = wall_off.min(t0.elapsed().as_secs_f64());
+        cycles_off = r.cycles;
+    }
+
+    let mut wall_on = f64::MAX;
+    let mut cycles_on = 0u64;
+    let mut attributed = 0u64;
+    for _ in 0..reps {
+        let mut sim = compute_bound_sim_with(budget, Tracer::default());
+        sim.set_cycle_skipping(false);
+        let t0 = Instant::now();
+        let r = sim.run().expect("traced dense run completes");
+        wall_on = wall_on.min(t0.elapsed().as_secs_f64());
+        cycles_on = r.cycles;
+        attributed = sim.sink().stacks.chip_totals().iter().sum();
+    }
+
+    assert_eq!(
+        cycles_off, cycles_on,
+        "attaching a sink changed the simulated cycle count"
+    );
+    assert!(attributed > 0, "traced run attributed no cycles");
+
+    let mcps_off = cycles_off as f64 / wall_off / 1e6;
+    let mcps_on = cycles_on as f64 / wall_on / 1e6;
+    let overhead = wall_on / wall_off;
+    println!(
+        "trace_overhead/compute_bound {mcps_off:.3} Mcycles/s disabled, \
+         {mcps_on:.3} Mcycles/s enabled ({overhead:.2}x wall, min-of-{reps})"
+    );
+    if smoke {
+        assert!(
+            mcps_off >= 0.02,
+            "tracing-disabled throughput collapsed to {mcps_off:.4} Mcycles/s (floor 0.02)"
+        );
+    } else {
+        assert!(
+            mcps_off >= 0.95 * PR3_DENSE_MCPS,
+            "tracing-disabled dense throughput {mcps_off:.3} fell below 95% of the \
+             PR 3 figure {PR3_DENSE_MCPS:.3} — the NopSink path is no longer free"
+        );
+    }
+    format!(
+        "  \"trace_overhead\": {{\"budget_instrs_per_thread\": {budget}, \"reps\": {reps}, \
+         \"sim_cycles\": {cycles_off}, \"wall_disabled_s\": {wall_off:.6}, \
+         \"wall_enabled_s\": {wall_on:.6}, \"mcycles_per_s_disabled\": {mcps_off:.3}, \
+         \"mcycles_per_s_enabled\": {mcps_on:.3}, \"overhead_ratio\": {overhead:.3}, \
+         \"pr3_dense_mcps\": {PR3_DENSE_MCPS}}}"
+    )
+}
+
 /// Work-stealing sweep executor A/B (DESIGN.md §10): a 9-cell config
 /// sweep (3 chip widths x 3 workload pairings) run through `par_map`
 /// with `TLPSIM_THREADS=8` and again with `TLPSIM_THREADS=1`, asserting
@@ -404,15 +489,17 @@ fn main() {
     let sweep_frag = bench_engine_sweep(smoke);
     let dense_frag = bench_dense_throughput(smoke);
     let exec_frag = bench_sweep_executor(smoke);
+    let trace_frag = bench_trace_overhead(smoke);
 
     let json = format!(
         "{{\n  \"bench\": \"engine_sweep\",\n  \"chip\": \"4x big SMT-2 @ 2.66GHz\",\n  \
-         \"threads\": 8,\n  \"smoke\": {smoke},\n{sweep_frag},\n{dense_frag},\n{exec_frag}\n}}\n"
+         \"threads\": 8,\n  \"smoke\": {smoke},\n{sweep_frag},\n{dense_frag},\n{exec_frag},\n\
+         {trace_frag}\n}}\n"
     );
     // Default to the workspace root (cargo runs benches with the
     // package directory as cwd, which would bury the report).
     let out = std::env::var("TLPSIM_BENCH_OUT")
-        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3.json").into());
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json").into());
     std::fs::write(&out, &json).expect("write bench report");
     println!("engine_sweep: report written to {out}");
 }

@@ -75,19 +75,22 @@ pub struct Cell {
 
 impl Cell {
     /// Harmonic-mean STP across workloads (the paper's average for
-    /// rate metrics).
+    /// rate metrics). `NaN` on degenerate data (a populated cell
+    /// always carries 12 positive STPs, so this only fires on
+    /// hand-built cells).
     pub fn mean_stp(&self) -> f64 {
-        metrics::harmonic_mean(&self.stp)
+        metrics::harmonic_mean(&self.stp).unwrap_or(f64::NAN)
     }
 
-    /// Arithmetic-mean ANTT across workloads.
+    /// Arithmetic-mean ANTT across workloads (`NaN` if empty).
     pub fn mean_antt(&self) -> f64 {
-        metrics::arithmetic_mean(&self.antt)
+        metrics::arithmetic_mean(&self.antt).unwrap_or(f64::NAN)
     }
 
-    /// Arithmetic-mean chip power across workloads, watts.
+    /// Arithmetic-mean chip power across workloads, watts (`NaN` if
+    /// empty).
     pub fn mean_power(&self) -> f64 {
-        metrics::arithmetic_mean(&self.power_w)
+        metrics::arithmetic_mean(&self.power_w).unwrap_or(f64::NAN)
     }
 }
 
@@ -424,8 +427,8 @@ impl Ctx {
         }
         let report = PowerModel::with_power_gating().report(&chip, &run);
         Ok((
-            metrics::stp(&pairs),
-            metrics::antt(&pairs),
+            metrics::stp(&pairs)?,
+            metrics::antt(&pairs)?,
             report.avg_power_w,
         ))
     }

@@ -43,7 +43,7 @@ pub fn dynamic_stp(ctx: &Ctx, n: usize, kind: WorkloadKind, smt: bool) -> Result
     let per_workload: Vec<f64> = (0..12)
         .map(|w| cells.iter().map(|c| c.stp[w]).fold(f64::MIN, f64::max))
         .collect();
-    Ok(metrics::harmonic_mean(&per_workload))
+    metrics::harmonic_mean(&per_workload)
 }
 
 #[cfg(test)]

@@ -25,6 +25,8 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use tlpsim_trace::CounterSnapshot;
+
 use crate::error::SimError;
 
 /// Render a panic payload for diagnostics.
@@ -140,6 +142,30 @@ where
             })
         })
         .collect()
+}
+
+/// Fold the counter snapshots of a sweep's *successful* items into one
+/// aggregate, counting how many items contributed.
+///
+/// This is the registry-backed replacement for ad-hoc per-field stat
+/// summing: any layer that publishes into a [`CounterSnapshot`]
+/// (pipeline, caches, DRAM, CPI stacks) aggregates across a sweep with
+/// no per-subsystem plumbing. Integer counters sum; gauges
+/// (`set_f64`) keep the last written value, so averages should be
+/// published as sum + count pairs by the producer. Failed items
+/// (`Err` cells) contribute nothing — the aggregate degrades exactly
+/// like the sweep itself does.
+pub fn aggregate_counters<'a, I>(results: I) -> (CounterSnapshot, usize)
+where
+    I: IntoIterator<Item = &'a Result<CounterSnapshot, SimError>>,
+{
+    let mut agg = CounterSnapshot::new();
+    let mut n_ok = 0;
+    for snap in results.into_iter().filter_map(|r| r.as_ref().ok()) {
+        agg.merge(snap);
+        n_ok += 1;
+    }
+    (agg, n_ok)
 }
 
 #[cfg(test)]
@@ -266,6 +292,25 @@ mod tests {
         });
         assert!(out.iter().all(|r| r.is_ok()));
         assert_eq!(*order.lock().unwrap(), items, "index order, deterministic");
+    }
+
+    #[test]
+    fn aggregate_counters_sums_successes_and_skips_failures() {
+        let items: Vec<u64> = (0..4).collect();
+        let out = par_map(&items, |&x| {
+            if x == 2 {
+                return Err(SimError::InvalidConfig("poisoned cell".into()));
+            }
+            let mut s = CounterSnapshot::new();
+            s.add_u64("run.cycles", 10 * (x + 1));
+            s.add_u64(&format!("cell{x}.only"), 1);
+            Ok(s)
+        });
+        let (agg, n_ok) = aggregate_counters(&out);
+        assert_eq!(n_ok, 3);
+        assert_eq!(agg.get_u64("run.cycles"), Some(10 + 20 + 40));
+        assert_eq!(agg.get_u64("cell2.only"), None, "failed cell excluded");
+        assert_eq!(agg.get_u64("cell3.only"), Some(1));
     }
 
     #[test]

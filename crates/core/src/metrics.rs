@@ -1,5 +1,12 @@
 //! Multi-program performance metrics (Eyerman & Eeckhout, IEEE Micro
 //! 2008) and the paper's aggregation conventions.
+//!
+//! Degenerate inputs — empty workloads, non-positive IPCs — are typed
+//! [`SimError::InvalidConfig`] values rather than panics, so a single
+//! malformed cell degrades one sweep entry instead of tearing down a
+//! whole campaign through the executor's panic path (DESIGN.md §7).
+
+use crate::error::SimError;
 
 /// System throughput (STP), a.k.a. weighted speedup: the number of
 /// jobs completed per unit time, normalized to isolated execution on
@@ -7,60 +14,75 @@
 ///
 /// `pairs` yields `(ipc_multi, ipc_isolated_on_big)` per program.
 ///
-/// # Panics
-/// Panics if any isolated IPC is not positive.
-pub fn stp(pairs: &[(f64, f64)]) -> f64 {
-    pairs
-        .iter()
-        .map(|&(multi, iso)| {
-            assert!(iso > 0.0, "isolated IPC must be positive");
-            multi / iso
-        })
-        .sum()
+/// # Errors
+/// [`SimError::InvalidConfig`] if any isolated IPC is not positive.
+pub fn stp(pairs: &[(f64, f64)]) -> Result<f64, SimError> {
+    let mut sum = 0.0;
+    for (i, &(multi, iso)) in pairs.iter().enumerate() {
+        if iso.is_nan() || iso <= 0.0 {
+            return Err(SimError::InvalidConfig(format!(
+                "STP: isolated IPC of program {i} must be positive, got {iso}"
+            )));
+        }
+        sum += multi / iso;
+    }
+    Ok(sum)
 }
 
 /// Average normalized turnaround time (ANTT): the mean per-program
 /// slowdown relative to isolated execution on the big core. Lower is
 /// better; 1.0 means no slowdown.
 ///
-/// # Panics
-/// Panics if `pairs` is empty or any multi-IPC is not positive.
-pub fn antt(pairs: &[(f64, f64)]) -> f64 {
-    assert!(!pairs.is_empty(), "ANTT of an empty workload");
-    let sum: f64 = pairs
-        .iter()
-        .map(|&(multi, iso)| {
-            assert!(multi > 0.0, "program never ran");
-            iso / multi
-        })
-        .sum();
-    sum / pairs.len() as f64
+/// # Errors
+/// [`SimError::InvalidConfig`] if `pairs` is empty or any multi-IPC is
+/// not positive.
+pub fn antt(pairs: &[(f64, f64)]) -> Result<f64, SimError> {
+    if pairs.is_empty() {
+        return Err(SimError::InvalidConfig("ANTT of an empty workload".into()));
+    }
+    let mut sum = 0.0;
+    for (i, &(multi, iso)) in pairs.iter().enumerate() {
+        if multi.is_nan() || multi <= 0.0 {
+            return Err(SimError::InvalidConfig(format!(
+                "ANTT: program {i} never ran (multi-IPC {multi})"
+            )));
+        }
+        sum += iso / multi;
+    }
+    Ok(sum / pairs.len() as f64)
 }
 
 /// Harmonic mean; the paper's average for STP across workloads (STP is
 /// a rate metric).
 ///
-/// # Panics
-/// Panics if `xs` is empty or contains a non-positive value.
-pub fn harmonic_mean(xs: &[f64]) -> f64 {
-    assert!(!xs.is_empty(), "harmonic mean of nothing");
-    let s: f64 = xs
-        .iter()
-        .map(|&x| {
-            assert!(x > 0.0, "harmonic mean needs positive values");
-            1.0 / x
-        })
-        .sum();
-    xs.len() as f64 / s
+/// # Errors
+/// [`SimError::InvalidConfig`] if `xs` is empty or contains a
+/// non-positive value.
+pub fn harmonic_mean(xs: &[f64]) -> Result<f64, SimError> {
+    if xs.is_empty() {
+        return Err(SimError::InvalidConfig("harmonic mean of nothing".into()));
+    }
+    let mut s = 0.0;
+    for &x in xs {
+        if x.is_nan() || x <= 0.0 {
+            return Err(SimError::InvalidConfig(format!(
+                "harmonic mean needs positive values, got {x}"
+            )));
+        }
+        s += 1.0 / x;
+    }
+    Ok(xs.len() as f64 / s)
 }
 
 /// Arithmetic mean (used for ANTT, a time metric).
 ///
-/// # Panics
-/// Panics if `xs` is empty.
-pub fn arithmetic_mean(xs: &[f64]) -> f64 {
-    assert!(!xs.is_empty(), "mean of nothing");
-    xs.iter().sum::<f64>() / xs.len() as f64
+/// # Errors
+/// [`SimError::InvalidConfig`] if `xs` is empty.
+pub fn arithmetic_mean(xs: &[f64]) -> Result<f64, SimError> {
+    if xs.is_empty() {
+        return Err(SimError::InvalidConfig("mean of nothing".into()));
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
 }
 
 #[cfg(test)]
@@ -70,38 +92,71 @@ mod tests {
     #[test]
     fn stp_of_isolated_programs_is_thread_count() {
         let pairs = vec![(2.0, 2.0), (1.0, 1.0), (0.5, 0.5)];
-        assert!((stp(&pairs) - 3.0).abs() < 1e-12);
+        assert!((stp(&pairs).unwrap() - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn stp_degrades_with_contention() {
         let pairs = vec![(1.0, 2.0), (0.5, 1.0)];
-        assert!((stp(&pairs) - 1.0).abs() < 1e-12);
+        assert!((stp(&pairs).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stp_rejects_nonpositive_isolated_ipc() {
+        let e = stp(&[(1.0, 0.0)]).unwrap_err();
+        assert!(matches!(e, SimError::InvalidConfig(_)));
+        assert!(e.to_string().contains("positive"));
     }
 
     #[test]
     fn antt_is_one_without_slowdown() {
         let pairs = vec![(2.0, 2.0), (1.5, 1.5)];
-        assert!((antt(&pairs) - 1.0).abs() < 1e-12);
+        assert!((antt(&pairs).unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn antt_measures_slowdown() {
         let pairs = vec![(1.0, 2.0), (1.0, 4.0)];
-        assert!((antt(&pairs) - 3.0).abs() < 1e-12); // (2 + 4) / 2
+        assert!((antt(&pairs).unwrap() - 3.0).abs() < 1e-12); // (2 + 4) / 2
+    }
+
+    #[test]
+    fn antt_rejects_empty_and_stuck_programs() {
+        assert!(matches!(antt(&[]), Err(SimError::InvalidConfig(_))));
+        let e = antt(&[(0.0, 1.0)]).unwrap_err();
+        assert!(e.to_string().contains("never ran"));
     }
 
     #[test]
     fn harmonic_mean_punishes_outliers() {
-        let h = harmonic_mean(&[1.0, 1.0, 0.1]);
-        let a = arithmetic_mean(&[1.0, 1.0, 0.1]);
+        let h = harmonic_mean(&[1.0, 1.0, 0.1]).unwrap();
+        let a = arithmetic_mean(&[1.0, 1.0, 0.1]).unwrap();
         assert!(h < a);
-        assert!((harmonic_mean(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[2.0, 2.0]).unwrap() - 2.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn harmonic_rejects_zero() {
-        harmonic_mean(&[1.0, 0.0]);
+    fn harmonic_rejects_zero_and_nan() {
+        assert!(matches!(
+            harmonic_mean(&[1.0, 0.0]),
+            Err(SimError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            harmonic_mean(&[f64::NAN]),
+            Err(SimError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            harmonic_mean(&[]),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn arithmetic_mean_rejects_empty() {
+        assert!(matches!(
+            arithmetic_mean(&[]),
+            Err(SimError::InvalidConfig(_))
+        ));
+        assert!((arithmetic_mean(&[1.0, 3.0]).unwrap() - 2.0).abs() < 1e-12);
     }
 }

@@ -303,6 +303,13 @@ impl Cache {
         (self.hits, self.misses, self.writebacks)
     }
 
+    /// Publish this cache's counters into `snap` under `prefix.*`.
+    pub fn counters_into(&self, prefix: &str, snap: &mut tlpsim_trace::CounterSnapshot) {
+        snap.add_u64(&format!("{prefix}.hits"), self.hits);
+        snap.add_u64(&format!("{prefix}.misses"), self.misses);
+        snap.add_u64(&format!("{prefix}.writebacks"), self.writebacks);
+    }
+
     /// Zero the hit/miss/writeback counters, keeping cache contents.
     pub fn reset_counters(&mut self) {
         self.hits = 0;

@@ -53,9 +53,14 @@ impl Dram {
         self.access_cycles
     }
 
+    /// The bank `line` maps to (lines interleave across banks).
+    pub fn bank_of(&self, line: LineAddr) -> usize {
+        (line.0 as usize) % self.next_free.len()
+    }
+
     /// Issue an access for `line` arriving at `now`; returns completion time.
     pub fn access(&mut self, line: LineAddr, now: Cycle) -> Cycle {
-        let bank = (line.0 as usize) % self.next_free.len();
+        let bank = self.bank_of(line);
         let start = now.max(self.next_free[bank]);
         let done = start + self.access_cycles;
         self.total_queue_cycles += start - now;
@@ -121,5 +126,63 @@ mod tests {
         d.access(LineAddr(0), 0);
         let done = d.access(LineAddr(0), 10_000); // long after bank freed
         assert_eq!(done, 10_000 + d.access_cycles());
+    }
+
+    #[test]
+    fn bank_conflict_accounting_is_exact() {
+        // k same-cycle requests to one bank serialize completely: the
+        // i-th waits exactly i full access times, so total queueing is
+        // access_cycles * k*(k-1)/2 and the average is the closed form.
+        let mut d = Dram::new(&DramConfig::default(), 2.66);
+        let lat = d.access_cycles();
+        let k = 5u64;
+        for i in 0..k {
+            let done = d.access(LineAddr(8 * i), 0); // stride 8 = same bank
+            assert_eq!(
+                done,
+                (i + 1) * lat,
+                "request {i} must queue behind {i} others"
+            );
+        }
+        let expect_total = lat * k * (k - 1) / 2;
+        assert_eq!(d.accesses(), k);
+        assert!((d.avg_queue_cycles() - expect_total as f64 / k as f64).abs() < 1e-12);
+        // The interleaved counterpart pays zero queueing.
+        let mut par = Dram::new(&DramConfig::default(), 2.66);
+        for i in 0..k {
+            par.access(LineAddr(i), 0); // stride 1 = distinct banks
+        }
+        assert_eq!(par.avg_queue_cycles(), 0.0);
+    }
+
+    #[test]
+    fn queueing_delay_grows_monotonically_with_bank_pressure() {
+        // Fixing the arrival schedule and raising the number of
+        // same-bank requests must never *decrease* the average
+        // queueing delay — the monotonicity the CPI stack's DRAM
+        // component relies on to explain bandwidth saturation.
+        let mut prev = 0.0;
+        for k in 1..=16u64 {
+            let mut d = Dram::new(&DramConfig::default(), 2.66);
+            for i in 0..k {
+                d.access(LineAddr(8 * i), i); // near-simultaneous arrivals
+            }
+            let avg = d.avg_queue_cycles();
+            assert!(
+                avg >= prev,
+                "avg queue delay fell from {prev} to {avg} at k={k}"
+            );
+            prev = avg;
+        }
+        assert!(prev > 0.0, "16 conflicting requests must queue");
+    }
+
+    #[test]
+    fn bank_of_interleaves_by_line() {
+        let d = Dram::new(&DramConfig::default(), 2.66);
+        assert_eq!(d.bank_of(LineAddr(0)), 0);
+        assert_eq!(d.bank_of(LineAddr(7)), 7);
+        assert_eq!(d.bank_of(LineAddr(8)), 0);
+        assert_eq!(d.bank_of(LineAddr(13)), 5);
     }
 }

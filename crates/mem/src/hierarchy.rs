@@ -15,6 +15,7 @@ use crate::dram::{Dram, DramConfig};
 use crate::hash::FastMap;
 use crate::stats::{CoreMemStats, MemStats};
 use crate::{CoreId, Cycle};
+use tlpsim_trace::{NopSink, TraceEvent, TraceSink};
 
 /// Kind of memory access issued by a core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -234,6 +235,22 @@ impl MemorySystem {
         addr: Addr,
         now: Cycle,
     ) -> AccessResult {
+        self.access_traced(core, kind, addr, now, &mut NopSink)
+    }
+
+    /// [`access`](Self::access) with structural event tracing: emits
+    /// fill, bus and DRAM-bank occupancy events into `sink`. With the
+    /// default [`NopSink`] every hook folds away at monomorphization
+    /// time, so [`access`](Self::access) pays nothing for the
+    /// instrumentation.
+    pub fn access_traced<S: TraceSink>(
+        &mut self,
+        core: CoreId,
+        kind: AccessKind,
+        addr: Addr,
+        now: Cycle,
+        sink: &mut S,
+    ) -> AccessResult {
         let line = addr.line();
         let is_write = kind == AccessKind::Store;
 
@@ -278,6 +295,14 @@ impl MemorySystem {
         if let Some(&t) = self.cores[core].mshr.get(&line) {
             if t > now {
                 let complete = t.max(now + l1_lat);
+                if S::ENABLED {
+                    sink.event(TraceEvent::Fill {
+                        core,
+                        level: 2,
+                        start: now,
+                        end: complete,
+                    });
+                }
                 return AccessResult {
                     complete_at: complete,
                     level: HitLevel::L2, // charged as a near hit; fill in flight
@@ -300,6 +325,14 @@ impl MemorySystem {
             }
         }
         if l2_out.hit {
+            if S::ENABLED {
+                sink.event(TraceEvent::Fill {
+                    core,
+                    level: 2,
+                    start: now,
+                    end: t_l2 + l2_lat,
+                });
+            }
             return AccessResult {
                 complete_at: t_l2 + l2_lat,
                 level: HitLevel::L2,
@@ -321,6 +354,14 @@ impl MemorySystem {
             }
             let complete = data_at_llc + self.crossbar_latency;
             self.fill_mshr(core, line, complete, now);
+            if S::ENABLED {
+                sink.event(TraceEvent::Fill {
+                    core,
+                    level: 3,
+                    start: now,
+                    end: complete,
+                });
+            }
             return AccessResult {
                 complete_at: complete,
                 level: HitLevel::Llc,
@@ -337,6 +378,19 @@ impl MemorySystem {
         let t_mem = t_llc + llc_lat;
         let dram_done = self.dram.access(line, t_mem);
         let data_at_llc = self.bus.transfer(dram_done);
+        if S::ENABLED {
+            sink.event(TraceEvent::DramBank {
+                core,
+                bank: self.dram.bank_of(line) as u8,
+                start: t_mem,
+                end: dram_done,
+            });
+            sink.event(TraceEvent::Bus {
+                core,
+                start: dram_done,
+                end: data_at_llc,
+            });
+        }
         self.llc_pending.insert(line, data_at_llc);
         if data_at_llc > now {
             self.fill_events.push(std::cmp::Reverse(data_at_llc));
@@ -346,6 +400,14 @@ impl MemorySystem {
         }
         let complete = data_at_llc + self.crossbar_latency;
         self.fill_mshr(core, line, complete, now);
+        if S::ENABLED {
+            sink.event(TraceEvent::Fill {
+                core,
+                level: 4,
+                start: now,
+                end: complete,
+            });
+        }
         AccessResult {
             complete_at: complete,
             level: HitLevel::Dram,

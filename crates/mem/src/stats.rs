@@ -1,5 +1,7 @@
 //! Aggregated memory-system statistics.
 
+use tlpsim_trace::CounterSnapshot;
+
 /// Per-core cache statistics (private levels only).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreMemStats {
@@ -18,6 +20,18 @@ impl CoreMemStats {
     /// Total accesses that reached the private hierarchy.
     pub fn accesses(&self) -> u64 {
         self.l1i_hits + self.l1i_misses + self.l1d_hits + self.l1d_misses
+    }
+
+    /// Publish this core's private-cache counters under
+    /// `mem.core{core}.*`.
+    pub fn counters_into(&self, core: usize, snap: &mut CounterSnapshot) {
+        let p = format!("mem.core{core}");
+        snap.add_u64(&format!("{p}.l1i.hits"), self.l1i_hits);
+        snap.add_u64(&format!("{p}.l1i.misses"), self.l1i_misses);
+        snap.add_u64(&format!("{p}.l1d.hits"), self.l1d_hits);
+        snap.add_u64(&format!("{p}.l1d.misses"), self.l1d_misses);
+        snap.add_u64(&format!("{p}.l2.hits"), self.l2_hits);
+        snap.add_u64(&format!("{p}.l2.misses"), self.l2_misses);
     }
 }
 
@@ -48,5 +62,19 @@ impl MemStats {
         } else {
             self.llc_misses as f64 / t as f64
         }
+    }
+
+    /// Publish every memory-system counter into `snap` under the
+    /// `mem.*` namespace.
+    pub fn counters_into(&self, snap: &mut CounterSnapshot) {
+        for (c, s) in self.per_core.iter().enumerate() {
+            s.counters_into(c, snap);
+        }
+        snap.add_u64("mem.llc.hits", self.llc_hits);
+        snap.add_u64("mem.llc.misses", self.llc_misses);
+        snap.add_u64("mem.dram.accesses", self.dram_accesses);
+        snap.add_u64("mem.bus.bytes", self.bus_bytes);
+        snap.set_f64("mem.bus.avg_queue_cycles", self.bus_avg_queue_cycles);
+        snap.set_f64("mem.dram.avg_queue_cycles", self.dram_avg_queue_cycles);
     }
 }

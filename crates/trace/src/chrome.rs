@@ -1,0 +1,245 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Emits the `{"traceEvents": [...]}` object format with `ph: "X"`
+//! (complete) events, loadable in `chrome://tracing` and Perfetto.
+//! Timestamps are in microseconds in the format; we map one core
+//! cycle to one microsecond, so the viewer's time axis reads directly
+//! in cycles. Lanes: `pid` is the core, `tid` distinguishes hardware
+//! thread slots (pipeline events) from memory-system lanes (fills,
+//! bus, DRAM banks).
+
+use crate::{EventRing, TraceEvent};
+
+/// tid lanes for memory-system events, offset past any realistic SMT
+/// slot count so they never collide with pipeline lanes.
+const TID_FILL_BASE: usize = 90; // + level (2..=4)
+const TID_BUS: usize = 96;
+const TID_DRAM_BASE: usize = 100; // + bank
+
+fn level_name(level: u8) -> &'static str {
+    match level {
+        2 => "fill:L2",
+        3 => "fill:LLC",
+        4 => "fill:DRAM",
+        _ => "fill:?",
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_complete(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    pid: usize,
+    tid: usize,
+    ts: u64,
+    dur: u64,
+    args: Option<(&str, u64)>,
+) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    // Complete events with dur 0 render invisibly; clamp to 1 cycle.
+    let dur = dur.max(1);
+    out.push_str(&format!(
+        "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":{pid},\"tid\":{tid}"
+    ));
+    if let Some((k, v)) = args {
+        out.push_str(&format!(",\"args\":{{\"{k}\":{v}}}"));
+    }
+    out.push('}');
+}
+
+/// Render the ring as a Chrome trace-event JSON string.
+pub fn chrome_trace_json(ring: &EventRing) -> String {
+    let mut out = String::with_capacity(ring.len() * 96 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for ev in ring.iter() {
+        match *ev {
+            TraceEvent::Fetch {
+                core,
+                slot,
+                at,
+                count,
+            } => push_complete(
+                &mut out,
+                &mut first,
+                "fetch",
+                core,
+                slot,
+                at,
+                1,
+                Some(("count", count as u64)),
+            ),
+            TraceEvent::Issue {
+                core,
+                slot,
+                at,
+                count,
+            } => push_complete(
+                &mut out,
+                &mut first,
+                "issue",
+                core,
+                slot,
+                at,
+                1,
+                Some(("count", count as u64)),
+            ),
+            TraceEvent::Commit {
+                core,
+                slot,
+                at,
+                count,
+            } => push_complete(
+                &mut out,
+                &mut first,
+                "commit",
+                core,
+                slot,
+                at,
+                1,
+                Some(("count", count as u64)),
+            ),
+            TraceEvent::Fill {
+                core,
+                level,
+                start,
+                end,
+            } => push_complete(
+                &mut out,
+                &mut first,
+                level_name(level),
+                core,
+                TID_FILL_BASE + level as usize,
+                start,
+                end.saturating_sub(start),
+                None,
+            ),
+            TraceEvent::Bus { core, start, end } => push_complete(
+                &mut out,
+                &mut first,
+                "bus",
+                core,
+                TID_BUS,
+                start,
+                end.saturating_sub(start),
+                None,
+            ),
+            TraceEvent::DramBank {
+                core,
+                bank,
+                start,
+                end,
+            } => push_complete(
+                &mut out,
+                &mut first,
+                "dram",
+                core,
+                TID_DRAM_BASE + bank as usize,
+                start,
+                end.saturating_sub(start),
+                Some(("bank", bank as u64)),
+            ),
+        }
+    }
+    out.push_str(&format!(
+        "],\"otherData\":{{\"dropped_events\":{},\"total_events\":{}}}}}",
+        ring.dropped(),
+        ring.total_recorded()
+    ));
+    out
+}
+
+/// Write the ring to `path` as Chrome trace-event JSON.
+pub fn write_chrome_trace(path: &str, ring: &EventRing) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace_json(ring))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ring() -> EventRing {
+        let mut r = EventRing::new(16);
+        r.push(TraceEvent::Commit {
+            core: 0,
+            slot: 1,
+            at: 5,
+            count: 4,
+        });
+        r.push(TraceEvent::Fill {
+            core: 0,
+            level: 4,
+            start: 10,
+            end: 200,
+        });
+        r.push(TraceEvent::Bus {
+            core: 0,
+            start: 150,
+            end: 171,
+        });
+        r.push(TraceEvent::DramBank {
+            core: 0,
+            bank: 3,
+            start: 30,
+            end: 150,
+        });
+        r
+    }
+
+    #[test]
+    fn emits_object_format_with_complete_events() {
+        let json = chrome_trace_json(&sample_ring());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 4);
+        assert!(json.contains("\"name\":\"commit\""));
+        assert!(json.contains("\"name\":\"fill:DRAM\""));
+        assert!(json.contains("\"dur\":190"));
+        assert!(json.contains("\"args\":{\"bank\":3}"));
+        assert!(json.contains("\"dropped_events\":0"));
+    }
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        // No serde in the workspace: check brace/bracket balance and
+        // that no NaN/unescaped control characters slip in.
+        let json = chrome_trace_json(&sample_ring());
+        let (mut braces, mut brackets) = (0i64, 0i64);
+        for c in json.chars() {
+            assert!(!c.is_control(), "control char in JSON output");
+            match c {
+                '{' => braces += 1,
+                '}' => braces -= 1,
+                '[' => brackets += 1,
+                ']' => brackets -= 1,
+                _ => {}
+            }
+            assert!(braces >= 0 && brackets >= 0);
+        }
+        assert_eq!(braces, 0);
+        assert_eq!(brackets, 0);
+    }
+
+    #[test]
+    fn empty_ring_is_valid() {
+        let r = EventRing::new(4);
+        let json = chrome_trace_json(&r);
+        assert!(json.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn zero_duration_is_clamped_visible() {
+        let mut r = EventRing::new(2);
+        r.push(TraceEvent::Bus {
+            core: 0,
+            start: 7,
+            end: 7,
+        });
+        let json = chrome_trace_json(&r);
+        assert!(json.contains("\"dur\":1"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-thread CPI-stack cycle accounting (DESIGN.md §11).
+//!
+//! Every cycle a hardware thread context exists it is attributed to
+//! exactly one [`CpiComponent`]. The taxonomy follows the interval
+//! analysis the paper's authors built for per-thread cycle accounting
+//! under SMT: a cycle is either productive (committing at the core's
+//! width), lost to a structural limit of the thread itself (frontend,
+//! ROB, FU, memory), lost to *sharing* (another context won the fetch
+//! or issue arbitration), or idle (no runnable thread in the slot).
+
+use std::collections::BTreeMap;
+
+/// Number of CPI-stack components.
+pub const N_COMPONENTS: usize = 11;
+
+/// Where a hardware-thread cycle went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum CpiComponent {
+    /// Productive work: the context committed or issued this cycle
+    /// (the base component of the stack, bounded by issue width).
+    Base = 0,
+    /// Frontend-bound: fetch blocked on an I-cache miss or a
+    /// mispredict redirect, with an empty window.
+    Frontend = 1,
+    /// The reorder buffer (private partition or shared pool) is full.
+    RobFull = 2,
+    /// The window head is ready but lost functional-unit arbitration
+    /// with no other active context (single-thread structural stall).
+    FuContention = 3,
+    /// Fetch interference under SMT: the context could have fetched
+    /// but another context held the fetch slots.
+    SmtFetch = 4,
+    /// Issue interference under SMT: the window head is ready but
+    /// another active context won issue arbitration.
+    SmtIssue = 5,
+    /// Waiting on an L1 data hit in flight at the window head.
+    L1 = 6,
+    /// Waiting on an L2 hit in flight at the window head.
+    L2 = 7,
+    /// Waiting on an LLC hit in flight at the window head.
+    Llc = 8,
+    /// Waiting on DRAM at the window head.
+    Dram = 9,
+    /// No runnable thread resident (empty slot, barrier/lock block,
+    /// or scheduler switch in progress).
+    Idle = 10,
+}
+
+impl CpiComponent {
+    /// All components, in stack order.
+    pub const ALL: [CpiComponent; N_COMPONENTS] = [
+        CpiComponent::Base,
+        CpiComponent::Frontend,
+        CpiComponent::RobFull,
+        CpiComponent::FuContention,
+        CpiComponent::SmtFetch,
+        CpiComponent::SmtIssue,
+        CpiComponent::L1,
+        CpiComponent::L2,
+        CpiComponent::Llc,
+        CpiComponent::Dram,
+        CpiComponent::Idle,
+    ];
+
+    /// Dense index into a per-thread component array.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name (used as counter keys and JSON fields).
+    pub fn name(self) -> &'static str {
+        match self {
+            CpiComponent::Base => "base",
+            CpiComponent::Frontend => "frontend",
+            CpiComponent::RobFull => "rob_full",
+            CpiComponent::FuContention => "fu_contention",
+            CpiComponent::SmtFetch => "smt_fetch",
+            CpiComponent::SmtIssue => "smt_issue",
+            CpiComponent::L1 => "l1",
+            CpiComponent::L2 => "l2",
+            CpiComponent::Llc => "llc",
+            CpiComponent::Dram => "dram",
+            CpiComponent::Idle => "idle",
+        }
+    }
+}
+
+/// Identity of one hardware thread context: `(core, slot)`.
+pub type StackKey = (usize, usize);
+
+/// Accumulated CPI stacks, keyed by hardware thread context.
+///
+/// `CpiStacks` is itself a [`crate::TraceSink`] (events are ignored),
+/// so accounting can run without paying for event ringing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CpiStacks {
+    stacks: BTreeMap<StackKey, [u64; N_COMPONENTS]>,
+}
+
+impl CpiStacks {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `span` cycles of `comp` to context `(core, slot)`.
+    #[inline]
+    pub fn add(&mut self, core: usize, slot: usize, comp: CpiComponent, span: u64) {
+        self.stacks.entry((core, slot)).or_insert([0; N_COMPONENTS])[comp.index()] += span;
+    }
+
+    /// The component array for one context, if it ever received cycles.
+    pub fn stack(&self, core: usize, slot: usize) -> Option<&[u64; N_COMPONENTS]> {
+        self.stacks.get(&(core, slot))
+    }
+
+    /// Total cycles attributed to one context across all components.
+    pub fn total(&self, core: usize, slot: usize) -> u64 {
+        self.stacks
+            .get(&(core, slot))
+            .map(|s| s.iter().sum())
+            .unwrap_or(0)
+    }
+
+    /// Iterate `(key, components)` in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&StackKey, &[u64; N_COMPONENTS])> {
+        self.stacks.iter()
+    }
+
+    /// Number of contexts with any attributed cycles.
+    pub fn len(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// True when no cycles have been attributed.
+    pub fn is_empty(&self) -> bool {
+        self.stacks.is_empty()
+    }
+
+    /// Chip-wide sum of each component over all contexts.
+    pub fn chip_totals(&self) -> [u64; N_COMPONENTS] {
+        let mut out = [0u64; N_COMPONENTS];
+        for s in self.stacks.values() {
+            for (o, v) in out.iter_mut().zip(s.iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Export every context's components into a counter snapshot under
+    /// `cpi.core<c>.slot<s>.<component>` keys.
+    pub fn counters_into(&self, snap: &mut crate::CounterSnapshot) {
+        for ((core, slot), comps) in &self.stacks {
+            for c in CpiComponent::ALL {
+                snap.add_u64(
+                    &format!("cpi.core{core}.slot{slot}.{}", c.name()),
+                    comps[c.index()],
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_per_context() {
+        let mut s = CpiStacks::new();
+        s.add(0, 0, CpiComponent::Base, 5);
+        s.add(0, 0, CpiComponent::Dram, 7);
+        s.add(1, 1, CpiComponent::Idle, 3);
+        assert_eq!(s.total(0, 0), 12);
+        assert_eq!(s.total(1, 1), 3);
+        assert_eq!(s.total(2, 0), 0);
+        assert_eq!(s.stack(0, 0).unwrap()[CpiComponent::Dram.index()], 7);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn chip_totals_sum_contexts() {
+        let mut s = CpiStacks::new();
+        s.add(0, 0, CpiComponent::Llc, 2);
+        s.add(3, 1, CpiComponent::Llc, 5);
+        assert_eq!(s.chip_totals()[CpiComponent::Llc.index()], 7);
+    }
+
+    #[test]
+    fn component_names_are_unique_and_indexed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, c) in CpiComponent::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert!(seen.insert(c.name()), "duplicate name {}", c.name());
+        }
+        assert_eq!(seen.len(), N_COMPONENTS);
+    }
+
+    #[test]
+    fn counters_export_uses_stable_keys() {
+        let mut s = CpiStacks::new();
+        s.add(2, 1, CpiComponent::SmtIssue, 9);
+        let mut snap = crate::CounterSnapshot::new();
+        s.counters_into(&mut snap);
+        assert_eq!(snap.get_u64("cpi.core2.slot1.smt_issue"), Some(9));
+        assert_eq!(snap.get_u64("cpi.core2.slot1.base"), Some(0));
+    }
+}

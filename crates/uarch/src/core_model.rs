@@ -22,7 +22,8 @@
 
 use std::collections::VecDeque;
 
-use tlpsim_mem::{AccessKind, Addr, Cycle, MemorySystem};
+use tlpsim_mem::{AccessKind, Addr, Cycle, HitLevel, MemorySystem};
+use tlpsim_trace::{CpiComponent, TraceEvent, TraceSink};
 use tlpsim_workloads::InstrKind;
 
 use crate::config::{CoreClass, CoreConfig, FetchPolicy, RobSharing};
@@ -103,6 +104,10 @@ struct RobEntry {
     wnext2: u32,
     /// Running max of already-issued producers' done-times.
     ready_part: Cycle,
+    /// Hit level of an issued load (1 = L1 … 4 = DRAM; 0 = unset).
+    /// Maintained only when tracing is enabled; feeds the CPI-stack
+    /// classification of head-of-window memory stalls.
+    level: u8,
 }
 
 /// One SMT hardware context.
@@ -323,6 +328,24 @@ impl Slot {
     }
 }
 
+/// Inputs to [`CoreModel::classify_slot`] that are uniform across a
+/// core's slots within one cycle (or one fast-forward span).
+#[derive(Debug, Clone, Copy)]
+struct ClassifyCtx {
+    /// Contexts with a runnable resident thread.
+    active: usize,
+    /// Per-context ROB partition cap.
+    cap: usize,
+    /// Shared-window chip (occupancy enforced chip-wide).
+    shared_rob: bool,
+    /// Total ROB occupancy across contexts.
+    total_occ: usize,
+    /// Total ROB size.
+    rob_size: usize,
+    /// Evaluation cycle.
+    now: Cycle,
+}
+
 /// Cycle-stepped model of one core.
 #[derive(Debug)]
 pub struct CoreModel {
@@ -432,12 +455,13 @@ impl CoreModel {
 
     /// Advance this core by one cycle. Returns the number of
     /// instructions committed.
-    pub(crate) fn cycle(
+    pub(crate) fn cycle<S: TraceSink>(
         &mut self,
         now: Cycle,
         mem: &mut MemorySystem,
         threads: &mut [ThreadCtl],
         events: &mut Vec<Drained>,
+        sink: &mut S,
     ) -> u64 {
         let nslots = self.slots.len();
         let active = self.active_contexts(threads);
@@ -450,6 +474,11 @@ impl CoreModel {
 
         // Fully unpopulated core: nothing can happen this cycle.
         if active == 0 && self.slots.iter().all(|s| s.threads.is_empty()) {
+            if S::ENABLED {
+                for i in 0..nslots {
+                    sink.attr(self.core_id, i, CpiComponent::Idle, 1);
+                }
+            }
             return 0;
         }
 
@@ -471,15 +500,15 @@ impl CoreModel {
             }
         }
 
-        let committed = self.commit(now, threads, quiet);
+        let (committed, commit_grants) = self.commit(now, threads, quiet, sink);
         // Re-mask against the bits still valid after each phase: a
         // phase that invalidates a slot's cached event (e.g. a
         // shared-ROB commit opens dispatch room for *every* slot) has
         // made the start-of-cycle mask stale for the phases after it.
         let quiet = quiet & self.ev_valid;
-        self.issue(now, mem, threads, quiet);
+        let issue_grants = self.issue(now, mem, threads, quiet, sink);
         let quiet = quiet & self.ev_valid;
-        self.fetch_dispatch(now, mem, threads, cap, quiet);
+        self.fetch_dispatch(now, mem, threads, cap, quiet, sink);
 
         // Time-sharing quantum accounting. The decrement itself keeps
         // the cached `now + quantum_left` event invariant; only the
@@ -520,8 +549,107 @@ impl CoreModel {
         }
         self.ev_valid &= !inv;
 
+        if S::ENABLED {
+            // CPI-stack attribution: exactly one component per slot per
+            // cycle, evaluated on end-of-cycle state. A slot that was
+            // granted commit or issue bandwidth this cycle did useful
+            // work (Base); everything else classifies by what its
+            // window head is provably waiting on.
+            let cx = ClassifyCtx {
+                active,
+                cap,
+                shared_rob: self.cfg.rob_sharing == RobSharing::Shared,
+                total_occ: self.total_occupancy(),
+                rob_size: self.cfg.rob_size as usize,
+                now,
+            };
+            let grants = commit_grants | issue_grants;
+            for (i, s) in self.slots.iter().enumerate() {
+                let comp = Self::classify_slot(s, threads, grants & (1 << i) != 0, cx);
+                sink.attr(self.core_id, i, comp, 1);
+            }
+        }
+
         let _ = nslots;
         committed
+    }
+
+    /// Attribute the current cycle of one hardware context to a CPI
+    /// stack component. Evaluated on end-of-cycle state; inside a
+    /// provably-quiet window (the §9 slot-event contract) every
+    /// predicate read here is constant — no grants happen, the window
+    /// head's identity/`done_at`/`level` are frozen, thread states and
+    /// residency only change at engine event cycles, and
+    /// `fetch_blocked_until` either stays `<= now` or lies beyond the
+    /// window (it is itself an event) — so
+    /// [`fast_forward`](Self::fast_forward) can evaluate once and
+    /// weight by the span, reproducing the dense per-cycle sum exactly.
+    fn classify_slot(
+        s: &Slot,
+        threads: &[ThreadCtl],
+        granted: bool,
+        cx: ClassifyCtx,
+    ) -> CpiComponent {
+        let Some(tid) = s.resident() else {
+            return CpiComponent::Idle;
+        };
+        if threads[tid].state != ProgramState::Runnable {
+            return CpiComponent::Idle;
+        }
+        if granted {
+            return CpiComponent::Base;
+        }
+        match s.rob.front() {
+            Some(head) if head.issued => {
+                // In flight (a completed head would have committed, so
+                // `done_at > now` here). Loads charge the level the
+                // fill is coming from; non-memory latency charges the
+                // window when it is the binding constraint, else base.
+                match head.kind {
+                    InstrKind::Load => match head.level {
+                        1 => CpiComponent::L1,
+                        2 => CpiComponent::L2,
+                        3 => CpiComponent::Llc,
+                        4 => CpiComponent::Dram,
+                        _ => CpiComponent::Base,
+                    },
+                    InstrKind::Store => CpiComponent::Base,
+                    _ => {
+                        if s.rob.len() >= cx.cap || (cx.shared_rob && cx.total_occ >= cx.rob_size) {
+                            CpiComponent::RobFull
+                        } else {
+                            CpiComponent::Base
+                        }
+                    }
+                }
+            }
+            Some(_) => {
+                // Unissued window head: all older instructions have
+                // committed, so its producers are complete — it is
+                // provably ready and simply lost issue arbitration
+                // (width or functional units).
+                if cx.active > 1 {
+                    CpiComponent::SmtIssue
+                } else {
+                    CpiComponent::FuContention
+                }
+            }
+            None => {
+                if s.pending.is_some() {
+                    // Drained block/finish/switch boundary awaiting the
+                    // engine: the context has nothing to run.
+                    CpiComponent::Idle
+                } else if s.fetch_blocked_until > cx.now || s.awaiting_redirect.is_some() {
+                    CpiComponent::Frontend
+                } else if cx.active > 1 {
+                    // Fetch-eligible with an empty window but no
+                    // dispatch: lost fetch arbitration to co-runners.
+                    CpiComponent::SmtFetch
+                } else {
+                    CpiComponent::Frontend
+                }
+            }
+        }
     }
 
     /// Next-event surface for the fast-forwarding engine: the earliest
@@ -683,11 +811,22 @@ impl CoreModel {
     /// on a cycle where nothing can commit, issue, dispatch, or drain
     /// (see [`next_event`](Self::next_event)). Must only be called with
     /// `span < next_event(now) - now`.
-    pub(crate) fn fast_forward(&mut self, now: Cycle, span: Cycle, threads: &[ThreadCtl]) {
+    pub(crate) fn fast_forward<S: TraceSink>(
+        &mut self,
+        now: Cycle,
+        span: Cycle,
+        threads: &[ThreadCtl],
+        sink: &mut S,
+    ) {
         self.stats.cycles += span;
         // Fully unpopulated core: `cycle` early-returns after the cycle
         // counter; no RR advance, no busy accounting.
         if self.slots.iter().all(|s| s.threads.is_empty()) {
+            if S::ENABLED {
+                for i in 0..self.slots.len() {
+                    sink.attr(self.core_id, i, CpiComponent::Idle, span);
+                }
+            }
             return;
         }
         let active = self.active_contexts(threads) as u64;
@@ -722,12 +861,38 @@ impl CoreModel {
             // Eligible context(s) existed but nothing dispatched.
             self.stats.fetch_idle_cycles += span;
         }
+        if S::ENABLED {
+            // Inside a quiet span no slot commits, issues, or
+            // dispatches and every classification predicate is frozen
+            // (see [`classify_slot`](Self::classify_slot)), so one
+            // evaluation weighted by `span` is bit-identical to the
+            // dense per-cycle attribution over `(now, now + span]`.
+            let cx = ClassifyCtx {
+                active: active as usize,
+                cap: self.partition_cap(active as usize),
+                shared_rob: self.cfg.rob_sharing == RobSharing::Shared,
+                total_occ: self.total_occupancy(),
+                rob_size: self.cfg.rob_size as usize,
+                now,
+            };
+            for (i, s) in self.slots.iter().enumerate() {
+                let comp = Self::classify_slot(s, threads, false, cx);
+                sink.attr(self.core_id, i, comp, span);
+            }
+        }
     }
 
     /// Returns the number of instructions committed this cycle (the
     /// engine keeps a chip-wide running total for its watchdog and
-    /// busy-cycle gates instead of re-summing every thread per cycle).
-    fn commit(&mut self, now: Cycle, threads: &mut [ThreadCtl], quiet: u64) -> u64 {
+    /// busy-cycle gates instead of re-summing every thread per cycle)
+    /// and the per-slot commit-grant bitmask (for CPI attribution).
+    fn commit<S: TraceSink>(
+        &mut self,
+        now: Cycle,
+        threads: &mut [ThreadCtl],
+        quiet: u64,
+        sink: &mut S,
+    ) -> (u64, u64) {
         let mut budget = self.cfg.width as usize;
         let nslots = self.slots.len();
         let start = self.rr_commit;
@@ -769,8 +934,18 @@ impl CoreModel {
             if budget < before {
                 last_granted = Some(slot_idx);
                 inv |= 1 << slot_idx;
+                if S::ENABLED {
+                    sink.event(TraceEvent::Commit {
+                        core: self.core_id,
+                        slot: slot_idx,
+                        at: now,
+                        count: (before - budget) as u32,
+                    });
+                }
             }
         }
+        // Pre-expansion, `inv` is exactly the per-slot grant mask.
+        let grants = inv;
         if inv != 0 && self.cfg.rob_sharing == RobSharing::Shared {
             // Shared window: freed entries open fetch room for *every*
             // slot, which can move their events earlier.
@@ -781,10 +956,18 @@ impl CoreModel {
             Some(i) => (i + 1) % nslots.max(1),
             None => (start + 1) % nslots.max(1),
         };
-        (self.cfg.width as usize - budget) as u64
+        ((self.cfg.width as usize - budget) as u64, grants)
     }
 
-    fn issue(&mut self, now: Cycle, mem: &mut MemorySystem, threads: &mut [ThreadCtl], quiet: u64) {
+    /// Returns the per-slot issue-grant bitmask (for CPI attribution).
+    fn issue<S: TraceSink>(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemorySystem,
+        threads: &mut [ThreadCtl],
+        quiet: u64,
+        sink: &mut S,
+    ) -> u64 {
         let mut budget = self.cfg.width as usize;
         // Pool capacities indexed by FU class (see [`fu_class`]).
         let fus = self.cfg.fus;
@@ -954,14 +1137,28 @@ impl CoreModel {
 
                 let done_at = match kind {
                     InstrKind::Load => {
-                        mem.access(core_id, AccessKind::Load, s.rob[idx].addr, now)
-                            .complete_at
+                        let r = mem.access_traced(
+                            core_id,
+                            AccessKind::Load,
+                            s.rob[idx].addr,
+                            now,
+                            sink,
+                        );
+                        if S::ENABLED {
+                            s.rob[idx].level = match r.level {
+                                HitLevel::L1 => 1,
+                                HitLevel::L2 => 2,
+                                HitLevel::Llc => 3,
+                                HitLevel::Dram => 4,
+                            };
+                        }
+                        r.complete_at
                     }
                     InstrKind::Store => {
                         // Stores retire through the store buffer; the
                         // access updates cache/bus state but does not
                         // stall dependents or commit.
-                        mem.access(core_id, AccessKind::Store, s.rob[idx].addr, now);
+                        mem.access_traced(core_id, AccessKind::Store, s.rob[idx].addr, now, sink);
                         now + 1
                     }
                     k => now + k.exec_latency(),
@@ -1073,6 +1270,14 @@ impl CoreModel {
             if issued_here > 0 {
                 last_granted = Some(slot_idx);
                 inv |= 1 << slot_idx;
+                if S::ENABLED {
+                    sink.event(TraceEvent::Issue {
+                        core: core_id,
+                        slot: slot_idx,
+                        at: now,
+                        count: issued_here as u32,
+                    });
+                }
             }
             if inorder && issued_here > 0 {
                 // Fine-grained MT: only one context issues per cycle;
@@ -1085,15 +1290,17 @@ impl CoreModel {
             Some(i) => (i + 1) % nslots.max(1),
             None => (start + 1) % nslots.max(1),
         };
+        inv
     }
 
-    fn fetch_dispatch(
+    fn fetch_dispatch<S: TraceSink>(
         &mut self,
         now: Cycle,
         mem: &mut MemorySystem,
         threads: &mut [ThreadCtl],
         cap: usize,
         quiet: u64,
+        sink: &mut S,
     ) {
         let nslots = self.slots.len();
         let width = self.cfg.width as usize;
@@ -1193,7 +1400,8 @@ impl CoreModel {
                 // I-cache: access once per line crossing.
                 let line = instr.fetch_addr.line();
                 if t.last_fetch_line != Some(line) {
-                    let r = mem.access(core_id, AccessKind::Fetch, instr.fetch_addr, now);
+                    let r =
+                        mem.access_traced(core_id, AccessKind::Fetch, instr.fetch_addr, now, sink);
                     t.last_fetch_line = Some(line);
                     // A hit completes within the L1I latency (folded into
                     // the front-end depth); anything longer stalls fetch.
@@ -1271,6 +1479,7 @@ impl CoreModel {
                     wnext1,
                     wnext2,
                     ready_part: part,
+                    level: 0,
                 });
                 s.unissued.push_back(seq);
                 if aliased {
@@ -1315,6 +1524,14 @@ impl CoreModel {
                 budget -= fetched;
                 fetchers += 1;
                 last_granted = Some(slot_idx);
+                if S::ENABLED {
+                    sink.event(TraceEvent::Fetch {
+                        core: core_id,
+                        slot: slot_idx,
+                        at: now,
+                        count: fetched as u32,
+                    });
+                }
             }
         }
         self.fetch_order = order;

@@ -22,6 +22,7 @@
 //! legacy dense stepper when debugging.
 
 use tlpsim_mem::{Cycle, FastMap, MemorySystem};
+use tlpsim_trace::{NopSink, TraceSink};
 
 use crate::config::ChipConfig;
 use crate::core_model::{CoreModel, Drained, Pending};
@@ -168,8 +169,14 @@ struct LockState {
 }
 
 /// The simulated chip: cores + memory + software threads.
+///
+/// Generic over a [`TraceSink`] that receives CPI-stack attributions
+/// and structural events from every layer. The default [`NopSink`]
+/// monomorphizes all instrumentation away, so `MultiCore` (without a
+/// type argument) is the plain, uninstrumented simulator; build with
+/// [`with_sink`](Self::with_sink) to record.
 #[derive(Debug)]
-pub struct MultiCore {
+pub struct MultiCore<S: TraceSink = NopSink> {
     chip: ChipConfig,
     cores: Vec<CoreModel>,
     mem: MemorySystem,
@@ -204,11 +211,20 @@ pub struct MultiCore {
     /// and the fills version it was computed at.
     mem_ev_cache: Cycle,
     mem_ev_version: u64,
+    /// Trace sink receiving cycle attributions and structural events.
+    sink: S,
 }
 
-impl MultiCore {
-    /// Build an idle chip.
+impl MultiCore<NopSink> {
+    /// Build an idle, uninstrumented chip.
     pub fn new(chip: &ChipConfig) -> Self {
+        Self::with_sink(chip, NopSink)
+    }
+}
+
+impl<S: TraceSink> MultiCore<S> {
+    /// Build an idle chip recording into `sink`.
+    pub fn with_sink(chip: &ChipConfig, sink: S) -> Self {
         let cores = chip
             .cores
             .iter()
@@ -237,8 +253,25 @@ impl MultiCore {
             skip_windows: 0,
             mem_ev_cache: 0,
             mem_ev_version: u64::MAX,
+            sink,
             chip: chip.clone(),
         }
+    }
+
+    /// The trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the trace sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consume the chip and return the sink with everything it
+    /// recorded.
+    pub fn into_sink(self) -> S {
+        self.sink
     }
 
     /// Enable or disable event-driven cycle skipping (the fast-forward
@@ -512,7 +545,7 @@ impl MultiCore {
     fn fast_forward(&mut self, span: Cycle) {
         let now = self.now;
         for core in self.cores.iter_mut() {
-            core.fast_forward(now, span, &self.threads);
+            core.fast_forward(now, span, &self.threads, &mut self.sink);
         }
         if self.recording {
             self.hist[self.runnable] += span;
@@ -587,16 +620,26 @@ impl MultiCore {
             let prev = now - 1;
             for core in self.cores.iter_mut() {
                 if core.next_event(prev, &self.threads) > now {
-                    core.fast_forward(prev, 1, &self.threads);
+                    core.fast_forward(prev, 1, &self.threads, &mut self.sink);
                 } else {
-                    self.total_committed +=
-                        core.cycle(now, &mut self.mem, &mut self.threads, &mut self.events);
+                    self.total_committed += core.cycle(
+                        now,
+                        &mut self.mem,
+                        &mut self.threads,
+                        &mut self.events,
+                        &mut self.sink,
+                    );
                 }
             }
         } else {
             for core in self.cores.iter_mut() {
-                self.total_committed +=
-                    core.cycle(now, &mut self.mem, &mut self.threads, &mut self.events);
+                self.total_committed += core.cycle(
+                    now,
+                    &mut self.mem,
+                    &mut self.threads,
+                    &mut self.events,
+                    &mut self.sink,
+                );
             }
         }
         // Swap the drained events into the scratch buffer to resolve

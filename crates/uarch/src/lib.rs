@@ -61,3 +61,10 @@ pub use stats::{CoreStats, RunResult, ThreadStats};
 pub type ThreadId = usize;
 
 pub use tlpsim_mem::Cycle;
+
+/// Re-exported observability surface: construct a [`MultiCore`] with
+/// [`MultiCore::with_sink`] and one of these sinks to collect CPI
+/// stacks and/or structural events.
+pub use tlpsim_trace::{
+    CounterSnapshot, CounterValue, CpiComponent, CpiStacks, NopSink, TraceSink, Tracer,
+};

@@ -1,7 +1,14 @@
 //! Simulation results and statistics.
 
 use tlpsim_mem::{Cycle, MemStats};
+use tlpsim_trace::CounterSnapshot;
 use tlpsim_workloads::InstrKind;
+
+/// Names of the [`CoreStats::committed`] instruction-class bins, in
+/// index order.
+const COMMIT_CLASS_NAMES: [&str; 7] = [
+    "int_alu", "int_mul", "int_div", "fp", "load", "store", "branch",
+];
 
 /// Per-core activity statistics (consumed by the power model).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -58,6 +65,20 @@ impl CoreStats {
             0.0
         } else {
             self.active_ctx_cycles as f64 / self.busy_cycles as f64
+        }
+    }
+
+    /// Publish this core's pipeline counters under `core{core}.*`.
+    pub fn counters_into(&self, core: usize, snap: &mut CounterSnapshot) {
+        let p = format!("core{core}");
+        snap.add_u64(&format!("{p}.cycles"), self.cycles);
+        snap.add_u64(&format!("{p}.busy_cycles"), self.busy_cycles);
+        snap.add_u64(&format!("{p}.active_ctx_cycles"), self.active_ctx_cycles);
+        snap.add_u64(&format!("{p}.dispatched"), self.dispatched);
+        snap.add_u64(&format!("{p}.issued"), self.issued);
+        snap.add_u64(&format!("{p}.fetch_idle_cycles"), self.fetch_idle_cycles);
+        for (name, count) in COMMIT_CLASS_NAMES.iter().zip(self.committed) {
+            snap.add_u64(&format!("{p}.committed.{name}"), count);
         }
     }
 }
@@ -121,5 +142,35 @@ impl RunResult {
         } else {
             self.active_histogram[k] as f64 / total as f64
         }
+    }
+
+    /// Flatten the whole run into a [`CounterSnapshot`] — the unified
+    /// registry format every layer (pipeline, memory, threads) publishes
+    /// into. Snapshots from sweep cells can be merged or diffed without
+    /// knowing which subsystem a counter came from.
+    pub fn counters(&self) -> CounterSnapshot {
+        let mut snap = CounterSnapshot::new();
+        self.counters_into(&mut snap);
+        snap
+    }
+
+    /// Publish this run's counters into an existing snapshot.
+    pub fn counters_into(&self, snap: &mut CounterSnapshot) {
+        snap.add_u64("run.cycles", self.cycles);
+        for (c, cs) in self.cores.iter().enumerate() {
+            cs.counters_into(c, snap);
+        }
+        for (t, ts) in self.threads.iter().enumerate() {
+            let p = format!("thread{t}");
+            snap.add_u64(&format!("{p}.committed"), ts.committed);
+            snap.add_u64(&format!("{p}.blocked_cycles"), ts.blocked_cycles);
+            if let Some(f) = ts.finish_cycle {
+                snap.add_u64(&format!("{p}.finish_cycle"), f);
+            }
+        }
+        for (k, cycles) in self.active_histogram.iter().enumerate() {
+            snap.add_u64(&format!("run.active_histogram.{k}"), *cycles);
+        }
+        self.mem.counters_into(snap);
     }
 }

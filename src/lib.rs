@@ -8,5 +8,6 @@ pub use tlpsim_core as core;
 pub use tlpsim_mem as mem;
 pub use tlpsim_power as power;
 pub use tlpsim_sched as sched;
+pub use tlpsim_trace as trace;
 pub use tlpsim_uarch as uarch;
 pub use tlpsim_workloads as workloads;

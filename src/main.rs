@@ -19,7 +19,9 @@
 use tlpsim::core::configs;
 use tlpsim::core::ctx::{Ctx, WorkloadKind};
 use tlpsim::core::{SimError, SimScale};
-use tlpsim::workloads::{parsec, spec};
+use tlpsim::trace::{write_chrome_trace, CpiComponent, TraceConfig, Tracer, DEFAULT_RING_CAP};
+use tlpsim::uarch::{MultiCore, ThreadProgram};
+use tlpsim::workloads::{parsec, spec, InstrStream};
 
 /// Usage error: bad syntax, missing arguments.
 const EXIT_USAGE: i32 = 2;
@@ -44,6 +46,14 @@ USAGE:
   tlpsim app <design> <app> <threads> [--no-smt]
       Run one PARSEC-like multi-threaded application.
 
+  tlpsim trace [<design> [<threads>]] [--no-smt]
+      Run one instrumented multi-program mix (default: 4B, 8 threads)
+      with CPI-stack accounting and structural event tracing, print
+      the per-context CPI stacks, and write a Chrome trace-event JSON
+      (load it at chrome://tracing or https://ui.perfetto.dev). The
+      output path and ring capacity come from TLPSIM_TRACE (default
+      tlpsim-trace.json).
+
   tlpsim help | --help | -h
       Show this message.
 
@@ -52,6 +62,10 @@ ENVIRONMENT:
                  only. A corrupt or torn cache file is detected
                  (checksummed records) and repaired in place; see
                  README 'Troubleshooting'.
+  TLPSIM_TRACE   <path>[:<cap>] — where `tlpsim trace` writes the
+                 Chrome trace JSON, and optionally the event-ring
+                 capacity (default 65536 events; the ring keeps the
+                 newest events once full).
   TLPSIM_WATCHDOG_CYCLES
                  Override the stall watchdog window (simulated cycles,
                  default 3000000). A run that commits nothing for this
@@ -66,7 +80,7 @@ EXIT CODES:
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  tlpsim list\n  tlpsim run <design> <threads> [--no-smt] [--bench <name>] [--bus16]\n  tlpsim app <design> <app> <threads> [--no-smt]\n  tlpsim --help"
+        "usage:\n  tlpsim list\n  tlpsim run <design> <threads> [--no-smt] [--bench <name>] [--bus16]\n  tlpsim app <design> <app> <threads> [--no-smt]\n  tlpsim trace [<design> [<threads>]] [--no-smt]\n  tlpsim --help"
     );
     std::process::exit(EXIT_USAGE);
 }
@@ -197,6 +211,82 @@ fn main() {
                     );
                 }
             }
+        }
+        Some("trace") => {
+            let positional: Vec<&String> =
+                args[1..].iter().filter(|a| !a.starts_with("--")).collect();
+            let design = match positional.first() {
+                Some(name) => configs::by_name(name).unwrap_or_else(|| {
+                    eprintln!("unknown design {name}");
+                    std::process::exit(EXIT_UNKNOWN_NAME)
+                }),
+                None => configs::by_name("4B").expect("4B is a known design"),
+            };
+            let n: usize = match positional.get(1) {
+                Some(v) => v.parse().unwrap_or_else(|_| usage()),
+                None => 8,
+            };
+            let smt = !args.iter().any(|a| a == "--no-smt");
+            let cfg = TraceConfig::from_env().unwrap_or_else(|| TraceConfig {
+                path: "tlpsim-trace.json".into(),
+                cap: DEFAULT_RING_CAP,
+            });
+
+            let scale = SimScale::quick();
+            let chip = design.chip(smt, 8.0);
+            let profiles = spec::all();
+            let mut sim = MultiCore::with_sink(&chip, Tracer::new(cfg.cap));
+            let n_cores = chip.cores.len();
+            for i in 0..n {
+                let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+                    InstrStream::new(&profiles[i % profiles.len()], i as u64, scale.seed),
+                    scale.warmup,
+                    scale.budget,
+                ));
+                let core = i % n_cores;
+                let slot = (i / n_cores) % chip.cores[core].smt_contexts.max(1) as usize;
+                sim.pin(t, core, slot);
+            }
+            sim.prewarm();
+            let r = sim
+                .run()
+                .map_err(SimError::from)
+                .unwrap_or_else(|e| sim_failed("trace", e));
+            let tracer = sim.into_sink();
+
+            println!(
+                "{} @ {n} threads (SMT={smt}): {} cycles, CPI stacks per context:",
+                design.name, r.cycles
+            );
+            for ((core, slot), comps) in tracer.stacks.iter() {
+                let total: u64 = comps.iter().sum();
+                let idle = comps[CpiComponent::Idle.index()];
+                if total == idle {
+                    continue; // never-populated context
+                }
+                print!("  core{core}.ctx{slot}:");
+                for c in CpiComponent::ALL {
+                    let pct = 100.0 * comps[c.index()] as f64 / total.max(1) as f64;
+                    if pct >= 0.05 {
+                        print!(" {}:{pct:.1}%", c.name());
+                    }
+                }
+                println!();
+            }
+            println!(
+                "events: {} recorded, {} dropped (ring capacity {})",
+                tracer.ring.total_recorded(),
+                tracer.ring.dropped(),
+                tracer.ring.capacity()
+            );
+            if let Err(e) = write_chrome_trace(&cfg.path, &tracer.ring) {
+                eprintln!("tlpsim: cannot write trace to {}: {e}", cfg.path);
+                std::process::exit(EXIT_SIM_FAILED);
+            }
+            println!(
+                "chrome trace written to {} (load at chrome://tracing or ui.perfetto.dev)",
+                cfg.path
+            );
         }
         Some("app") => {
             if args.len() < 4 {

@@ -44,7 +44,7 @@ fn heterogeneous_chip_end_to_end() {
     assert!(run.threads.iter().all(|t| t.finish_cycle.is_some()));
     // STP is bounded by thread count and must be positive.
     let pairs: Vec<(f64, f64)> = run.threads.iter().map(|t| (t.ipc(BUDGET), 1.0)).collect();
-    let raw_sum = metrics::stp(&pairs);
+    let raw_sum = metrics::stp(&pairs).expect("positive isolated IPCs");
     assert!(raw_sum > 0.0);
     // ANTT >= 1 when normalized against a faster baseline.
     let slowdowns: Vec<(f64, f64)> = run
@@ -55,7 +55,7 @@ fn heterogeneous_chip_end_to_end() {
             (ipc, ipc * 1.5)
         })
         .collect();
-    assert!(metrics::antt(&slowdowns) >= 1.0);
+    assert!(metrics::antt(&slowdowns).expect("all programs ran") >= 1.0);
 
     // Power report is physically plausible for a ~40W-budget chip.
     let report = PowerModel::with_power_gating().report(&chip, &run);
