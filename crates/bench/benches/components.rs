@@ -12,8 +12,11 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use tlpsim_core::executor::par_map;
+use tlpsim_core::snapshot::write_atomic;
 use tlpsim_mem::{AccessKind, Addr, Cache, CacheConfig, MemoryConfig, MemorySystem};
-use tlpsim_uarch::{ChipConfig, CoreConfig, MultiCore, ThreadProgram, TraceSink, Tracer};
+use tlpsim_uarch::{
+    ChipConfig, CoreConfig, MultiCore, RunStatus, ThreadProgram, TraceSink, Tracer,
+};
 use tlpsim_workloads::{spec, InstrStream};
 
 /// Time `iters` runs of `f` (after a small warmup) and print ns/op.
@@ -405,6 +408,99 @@ fn bench_trace_overhead(smoke: bool) -> String {
     )
 }
 
+/// Simulated-cycle throughput of the dense compute-bound cell on the
+/// PR 4 reference host, from the committed `BENCH_pr4.json`
+/// (`dense_throughput.mcycles_per_s_dense`). The checkpoint-off path
+/// must stay within 5% of it: crash safety that taxes every sweep
+/// whether or not checkpointing is on would not ship.
+const PR4_DENSE_MCPS: f64 = 0.324;
+
+/// Checkpoint-overhead A/B (DESIGN.md §12): the dense compute-bound
+/// cell run plain (`run()`, exactly what a sweep without
+/// `TLPSIM_CKPT_CYCLES` executes) and again sliced at a checkpoint
+/// cadence with a full atomic state write at every boundary. Both runs
+/// must produce bit-identical results — slicing and serializing are
+/// invisible to the simulation — and the plain path is held to the
+/// PR 4 dense-throughput figure in full runs (min-of-reps, reference
+/// host only; smoke runs keep the catastrophe floor).
+fn bench_checkpoint_overhead(smoke: bool) -> String {
+    let budget: u64 = if smoke { 20_000 } else { 120_000 };
+    let reps = if smoke { 3 } else { 7 };
+    let every: u64 = 25_000;
+
+    let mut wall_off = f64::MAX;
+    let mut r_off = None;
+    for _ in 0..reps {
+        let mut sim = compute_bound_sim(budget);
+        sim.set_cycle_skipping(false);
+        let t0 = Instant::now();
+        let r = sim.run().expect("plain dense run completes");
+        wall_off = wall_off.min(t0.elapsed().as_secs_f64());
+        r_off = Some(r);
+    }
+
+    let dir = std::env::temp_dir().join(format!("tlpsim-bench-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("checkpoint scratch dir");
+    let path = dir.join("cell.ckpt");
+    let mut wall_on = f64::MAX;
+    let mut r_on = None;
+    let mut checkpoints = 0u64;
+    for _ in 0..reps {
+        let mut sim = compute_bound_sim(budget);
+        sim.set_cycle_skipping(false);
+        checkpoints = 0;
+        let t0 = Instant::now();
+        let r = loop {
+            let stop = sim.now().saturating_add(every);
+            match sim.run_slice(1 << 40, stop) {
+                Ok(RunStatus::Done(r)) => break r,
+                Ok(RunStatus::Paused) => {
+                    write_atomic(&path, &sim.save_state()).expect("checkpoint write");
+                    checkpoints += 1;
+                }
+                Err(e) => panic!("checkpointed run failed: {e:?}"),
+            }
+        };
+        wall_on = wall_on.min(t0.elapsed().as_secs_f64());
+        r_on = Some(r);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (r_off, r_on) = (r_off.unwrap(), r_on.unwrap());
+    assert_eq!(
+        r_off, r_on,
+        "checkpoint slicing changed the simulated results"
+    );
+    let cycles = r_off.cycles;
+    let mcps_off = cycles as f64 / wall_off / 1e6;
+    let mcps_on = cycles as f64 / wall_on / 1e6;
+    let overhead = wall_on / wall_off;
+    println!(
+        "checkpoint_overhead/compute_bound {mcps_off:.3} Mcycles/s off, \
+         {mcps_on:.3} Mcycles/s on ({checkpoints} checkpoints every {every} cycles, \
+         {overhead:.2}x wall, min-of-{reps})"
+    );
+    if smoke {
+        assert!(
+            mcps_off >= 0.02,
+            "checkpoint-off throughput collapsed to {mcps_off:.4} Mcycles/s (floor 0.02)"
+        );
+    } else {
+        assert!(
+            mcps_off >= 0.95 * PR4_DENSE_MCPS,
+            "checkpoint-off dense throughput {mcps_off:.3} fell below 95% of the \
+             PR 4 figure {PR4_DENSE_MCPS:.3} — crash safety is taxing plain sweeps"
+        );
+    }
+    format!(
+        "  \"checkpoint_overhead\": {{\"budget_instrs_per_thread\": {budget}, \"reps\": {reps}, \
+         \"sim_cycles\": {cycles}, \"ckpt_every_cycles\": {every}, \"checkpoints\": {checkpoints}, \
+         \"wall_off_s\": {wall_off:.6}, \"wall_on_s\": {wall_on:.6}, \
+         \"mcycles_per_s_off\": {mcps_off:.3}, \"mcycles_per_s_on\": {mcps_on:.3}, \
+         \"overhead_ratio\": {overhead:.3}, \"pr4_dense_mcps\": {PR4_DENSE_MCPS}}}"
+    )
+}
+
 /// Work-stealing sweep executor A/B (DESIGN.md §10): a 9-cell config
 /// sweep (3 chip widths x 3 workload pairings) run through `par_map`
 /// with `TLPSIM_THREADS=8` and again with `TLPSIM_THREADS=1`, asserting
@@ -490,16 +586,17 @@ fn main() {
     let dense_frag = bench_dense_throughput(smoke);
     let exec_frag = bench_sweep_executor(smoke);
     let trace_frag = bench_trace_overhead(smoke);
+    let ckpt_frag = bench_checkpoint_overhead(smoke);
 
     let json = format!(
         "{{\n  \"bench\": \"engine_sweep\",\n  \"chip\": \"4x big SMT-2 @ 2.66GHz\",\n  \
          \"threads\": 8,\n  \"smoke\": {smoke},\n{sweep_frag},\n{dense_frag},\n{exec_frag},\n\
-         {trace_frag}\n}}\n"
+         {trace_frag},\n{ckpt_frag}\n}}\n"
     );
     // Default to the workspace root (cargo runs benches with the
     // package directory as cwd, which would bury the report).
     let out = std::env::var("TLPSIM_BENCH_OUT")
-        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json").into());
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json").into());
     std::fs::write(&out, &json).expect("write bench report");
     println!("engine_sweep: report written to {out}");
 }

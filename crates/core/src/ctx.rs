@@ -14,29 +14,26 @@
 //! caller can log and skip, never a panic (DESIGN.md §7).
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 use tlpsim_power::{CoreKind, PowerModel};
 use tlpsim_sched::{assign_threads, ThreadTraits};
 use tlpsim_uarch::{
-    ChipConfig, CoreConfig, Cycle, MultiCore, ThreadProgram, DEFAULT_WATCHDOG_CYCLES,
+    ChipConfig, CoreConfig, Cycle, MultiCore, RunResult, RunStatus, ThreadProgram,
+    DEFAULT_WATCHDOG_CYCLES,
 };
 use tlpsim_workloads::{mix, parsec, spec, InstrStream, ParsecApp, Segment};
 
 use crate::configs::Design;
-use crate::diskcache::{DiskCache, Record};
+use crate::diskcache::{fnv1a64, DiskCache, Record};
 use crate::error::SimError;
+use crate::executor::lock_unpoisoned as lock;
 use crate::metrics;
 use crate::SimScale;
+use crate::{interrupt, snapshot};
 
 pub use crate::executor::par_map;
-
-/// Lock a mutex, recovering from poisoning: a worker that panicked
-/// while holding a cache lock must not take the whole campaign down
-/// (the cache maps only ever hold fully-constructed entries).
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
 
 /// Which of the paper's two multi-program workload classes a cell uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -134,6 +131,16 @@ pub struct CacheStats {
     pub parsec: usize,
 }
 
+/// In-cell checkpoint policy (DESIGN.md §12, level 2): where engine
+/// snapshots live and how often they are taken.
+#[derive(Debug, Clone)]
+struct CkptPolicy {
+    /// Directory holding one `<hash>.ckpt` file per in-flight mix run.
+    dir: PathBuf,
+    /// Checkpoint cadence in chip cycles.
+    every: Cycle,
+}
+
 /// The memoizing experiment context. Cheap to share by reference
 /// across host threads; all caches are internally synchronized.
 #[derive(Debug)]
@@ -146,6 +153,7 @@ pub struct Ctx {
     cells: Mutex<HashMap<CellKey, Arc<Cell>>>,
     parsec_runs: Mutex<HashMap<ParsecKey, Arc<ParsecOutcome>>>,
     disk: Option<DiskCache>,
+    ckpt: Option<CkptPolicy>,
 }
 
 impl Ctx {
@@ -158,6 +166,7 @@ impl Ctx {
             cells: Mutex::new(HashMap::new()),
             parsec_runs: Mutex::new(HashMap::new()),
             disk: None,
+            ckpt: None,
         }
     }
 
@@ -206,6 +215,21 @@ impl Ctx {
     /// before a run aborts as [`SimError::Stalled`]).
     pub fn with_watchdog(mut self, cycles: Cycle) -> Self {
         self.watchdog_cycles = cycles.max(1);
+        self
+    }
+
+    /// Enable in-cell checkpointing: every multi-program mix run saves
+    /// its full engine state to `dir` every `every_cycles` chip cycles
+    /// (atomically — see [`crate::snapshot`]), restores a valid
+    /// checkpoint on re-entry, and checkpoints-and-stops when an
+    /// interrupt is [`crate::interrupt::requested`]. Restored runs are
+    /// bit-identical to uninterrupted ones; an unreadable or foreign
+    /// checkpoint just recomputes from scratch.
+    pub fn with_checkpoints<P: Into<PathBuf>>(mut self, dir: P, every_cycles: Cycle) -> Self {
+        self.ckpt = Some(CkptPolicy {
+            dir: dir.into(),
+            every: every_cycles.max(1),
+        });
         self
     }
 
@@ -420,7 +444,18 @@ impl Ctx {
             sim.pin(t, placements[i].core, placements[i].slot);
         }
         sim.prewarm();
-        let run = sim.run()?;
+        // The tag pins every input that shapes this run, so a restored
+        // checkpoint can never be applied to a different simulation.
+        let tag = format!(
+            "{}|{:?}|{}|{:x}|{}|{:?}",
+            design.name,
+            mixv,
+            smt,
+            bus_gbps.to_bits(),
+            wl_seed,
+            self.scale
+        );
+        let run = self.finish_run(sim, &tag)?;
         let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(mixv.len());
         for (t, &b) in run.threads.iter().zip(mixv) {
             pairs.push((t.ipc(self.scale.budget), self.iso_ipc(b, CoreKind::Big)?));
@@ -431,6 +466,69 @@ impl Ctx {
             metrics::antt(&pairs)?,
             report.avg_power_w,
         ))
+    }
+
+    /// Drive a prepared simulation to completion under the crash-safety
+    /// policy (DESIGN.md §12, level 2).
+    ///
+    /// Without checkpointing this is `sim.run()` behind an interrupt
+    /// check. With a [`CkptPolicy`] the run is sliced at the checkpoint
+    /// cadence: a valid prior checkpoint is restored first (slicing and
+    /// restoring are invisible to the result — the §9 contract, proven
+    /// by the `snapshot`/`golden` test suites), the engine state is
+    /// written atomically at every slice boundary, and a requested
+    /// interrupt checkpoints once more and returns
+    /// [`SimError::Interrupted`] so `tlpsim resume` can pick the run
+    /// back up mid-cell. The checkpoint file is removed on completion.
+    fn finish_run(&self, mut sim: MultiCore, tag: &str) -> Result<RunResult, SimError> {
+        let Some(ckpt) = &self.ckpt else {
+            if interrupt::requested() {
+                return Err(SimError::Interrupted);
+            }
+            return Ok(sim.run()?);
+        };
+        if let Err(e) = std::fs::create_dir_all(&ckpt.dir) {
+            return Err(SimError::InvalidConfig(format!(
+                "cannot create checkpoint directory {}: {e}",
+                ckpt.dir.display()
+            )));
+        }
+        let path = ckpt
+            .dir
+            .join(format!("{:016x}.ckpt", fnv1a64(tag.as_bytes())));
+        if let Some(bytes) = snapshot::read_validated(&path) {
+            // A checkpoint that fails structural validation (engine
+            // format drift) is ignored; the cell just recomputes.
+            let _ = sim.restore_state(&bytes);
+        }
+        let save = |sim: &MultiCore| {
+            if let Err(e) = snapshot::write_atomic(&path, &sim.save_state()) {
+                eprintln!(
+                    "tlpsim: checkpoint {} not written ({e}); continuing",
+                    path.display()
+                );
+            }
+        };
+        loop {
+            if interrupt::requested() {
+                save(&sim);
+                return Err(SimError::Interrupted);
+            }
+            let stop = sim.now().saturating_add(ckpt.every);
+            match sim.run_slice(1 << 40, stop) {
+                Ok(RunStatus::Done(r)) => {
+                    let _ = std::fs::remove_file(&path);
+                    return Ok(r);
+                }
+                Ok(RunStatus::Paused) => save(&sim),
+                Err(e) => {
+                    // Deterministic failure: a restore would only
+                    // reproduce it, so drop the checkpoint.
+                    let _ = std::fs::remove_file(&path);
+                    return Err(e.into());
+                }
+            }
+        }
     }
 
     // ---------- PARSEC-like applications ----------
@@ -631,6 +729,25 @@ mod tests {
             .expect("runs")
             .mean_stp();
         assert!(s4 > s1 * 1.5, "STP: 1thr {s1} vs 4thr {s4}");
+    }
+
+    #[test]
+    fn checkpointed_cell_matches_plain_and_cleans_up() {
+        let d = configs::by_name("4B").unwrap();
+        let plain = quick_ctx()
+            .mp_cell(&d, 2, WorkloadKind::Heterogeneous, true)
+            .expect("plain cell");
+        let dir = std::env::temp_dir().join(format!("tlpsim-ckpt-ctx-{}", std::process::id()));
+        // Tiny cadence so the run is sliced (and checkpointed) many
+        // times — the result must not notice.
+        let ctx = Ctx::new(SimScale::quick()).with_checkpoints(dir.clone(), 500);
+        let ck = ctx
+            .mp_cell(&d, 2, WorkloadKind::Heterogeneous, true)
+            .expect("checkpointed cell");
+        assert_eq!(*plain, *ck, "checkpoint slicing changed the result");
+        let leftover = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        assert_eq!(leftover, 0, "completed runs must remove their checkpoints");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -302,8 +302,10 @@ pub struct LoadReport {
 /// cache. Lost locks (crashed holder) are stolen after
 /// [`STALE_LOCK`]; if the lock cannot be acquired within
 /// [`LOCK_TIMEOUT`] we proceed unlocked — it is advisory, and a wedged
-/// peer must not deadlock every bench process on the host.
-struct FileLock {
+/// peer must not deadlock every bench process on the host. Shared with
+/// the sweep journal (`crate::journal`), which appends under the same
+/// discipline.
+pub(crate) struct FileLock {
     path: Option<PathBuf>,
 }
 
@@ -313,7 +315,7 @@ const STALE_LOCK: Duration = Duration::from_secs(30);
 const LOCK_TIMEOUT: Duration = Duration::from_secs(2);
 
 impl FileLock {
-    fn acquire(path: PathBuf) -> FileLock {
+    pub(crate) fn acquire(path: PathBuf) -> FileLock {
         let deadline = std::time::Instant::now() + LOCK_TIMEOUT;
         loop {
             match std::fs::OpenOptions::new()
@@ -477,10 +479,7 @@ impl DiskCache {
     pub fn append(&self, rec: &Record) {
         let line = rec.frame();
         let _lock = FileLock::acquire(self.lock_path.clone());
-        let mut f = self
-            .file
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut f = crate::executor::lock_unpoisoned(&self.file);
         // Re-seek: another process may have appended since our last write.
         let _ = f.seek(std::io::SeekFrom::End(0));
         let _ = f.write_all(line.as_bytes());

@@ -46,6 +46,11 @@ pub enum SimError {
         /// The panic payload, if it was a string.
         detail: String,
     },
+    /// The work was cut short by a cooperative interrupt (SIGINT or
+    /// SIGTERM): the item was either never started or checkpointed
+    /// mid-flight, and a `tlpsim resume` will pick it back up. Not a
+    /// failure of the simulation itself.
+    Interrupted,
 }
 
 impl std::fmt::Display for SimError {
@@ -63,6 +68,9 @@ impl std::fmt::Display for SimError {
             }
             SimError::WorkerPanicked { item, detail } => {
                 write!(f, "sweep worker panicked on item {item} (twice): {detail}")
+            }
+            SimError::Interrupted => {
+                write!(f, "interrupted; completed work was journaled for resume")
             }
         }
     }

@@ -16,18 +16,35 @@
 //! accumulated in per-worker buffers (no per-item locks on the claim
 //! path) and merged positionally after the pool joins.
 //!
-//! The worker count is `TLPSIM_THREADS` if set (any positive integer),
+//! The worker count is `TLPSIM_THREADS` if set (must be a positive
+//! integer — anything else is a typed error, never a silent fallback),
 //! else the host's available parallelism, clamped to the item count.
 //! `TLPSIM_THREADS=1` bypasses the pool entirely: items run on the
 //! calling thread in index order, which makes sweeps deterministic for
 //! debugging and bisection.
+//!
+//! A cooperative interrupt ([`crate::interrupt`]) stops the claim loop:
+//! no new items start, in-flight items run to their own checkpoint, and
+//! every unstarted item's slot reports [`SimError::Interrupted`] so the
+//! caller can tell "not done yet" from "failed".
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use tlpsim_trace::CounterSnapshot;
 
 use crate::error::SimError;
+use crate::interrupt;
+
+/// Lock a mutex, recovering from poisoning: a worker that panicked
+/// while holding a lock must not take the whole campaign down. Only
+/// correct for data that is valid at every await-free lock release —
+/// the pattern every mutex in this workspace follows (caches and files
+/// only ever hold fully-constructed entries).
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Render a panic payload for diagnostics.
 fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
@@ -41,19 +58,31 @@ fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Number of workers a sweep over `n_items` items will use: the
-/// `TLPSIM_THREADS` override (any positive integer) if set, else the
-/// host's available parallelism, clamped to the item count.
-pub fn worker_count(n_items: usize) -> usize {
-    let host = std::env::var("TLPSIM_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        });
-    host.min(n_items.max(1))
+/// `TLPSIM_THREADS` override if set, else the host's available
+/// parallelism, clamped to the item count.
+///
+/// # Errors
+/// [`SimError::InvalidConfig`] when `TLPSIM_THREADS` is set but is not
+/// a positive integer. The seed silently fell back to host parallelism
+/// on garbage, which turned `TLPSIM_THREADS=1` typos into
+/// non-deterministic "deterministic" sweeps.
+pub fn worker_count(n_items: usize) -> Result<usize, SimError> {
+    let host = match std::env::var("TLPSIM_THREADS") {
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| {
+                SimError::InvalidConfig(format!(
+                    "TLPSIM_THREADS={v:?} is not a positive worker count"
+                ))
+            })?,
+    };
+    Ok(host.min(n_items.max(1)))
 }
 
 /// Run `f` over `items` on a host thread pool, preserving order.
@@ -70,11 +99,35 @@ pub fn worker_count(n_items: usize) -> usize {
 /// With one worker (item count, host parallelism or `TLPSIM_THREADS`
 /// equal to 1) no threads are spawned: items run on the calling thread
 /// in index order.
+///
+/// A malformed `TLPSIM_THREADS` makes every slot
+/// [`SimError::InvalidConfig`] — nothing runs under a configuration the
+/// user did not ask for. A cooperative interrupt mid-sweep leaves
+/// unstarted items as [`SimError::Interrupted`].
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, SimError>>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> Result<R, SimError> + Sync,
+{
+    par_map_with(items, f, |_, _| {})
+}
+
+/// [`par_map`] with a completion hook: `on_done(i, &result)` runs the
+/// moment item `i` finishes (on the worker that ran it, concurrently
+/// across workers), before the pool joins. This is how the sweep
+/// journal gets its write-ahead property — a cell is durably recorded
+/// when it completes, not when the whole sweep does, so a crash loses
+/// at most the in-flight cells.
+///
+/// The hook is not called for items that never ran (interrupt,
+/// worker-config error).
+pub fn par_map_with<T, R, F, C>(items: &[T], f: F, on_done: C) -> Vec<Result<R, SimError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> Result<R, SimError> + Sync,
+    C: Fn(usize, &Result<R, SimError>) + Sync,
 {
     let n = items.len();
     let run_one = |i: usize| -> Result<R, SimError> {
@@ -92,15 +145,36 @@ where
             detail: last_panic,
         })
     };
+    let run_and_report = |i: usize| -> Result<R, SimError> {
+        let r = run_one(i);
+        on_done(i, &r);
+        r
+    };
 
-    let n_workers = worker_count(n);
+    let n_workers = match worker_count(n) {
+        Ok(w) => w,
+        // Surface the configuration error at every position: the sweep
+        // shape is preserved and nothing is silently recomputed under a
+        // worker count the user did not configure.
+        Err(e) => return (0..n).map(|_| Err(e.clone())).collect(),
+    };
     if n_workers <= 1 {
-        return (0..n).map(run_one).collect();
+        return (0..n)
+            .map(|i| {
+                if interrupt::requested() {
+                    Err(SimError::Interrupted)
+                } else {
+                    run_and_report(i)
+                }
+            })
+            .collect();
     }
 
     // Greedy self-scheduling: one shared claim counter, per-worker
     // result buffers. A worker claims an item the moment it goes idle,
-    // so no item ever waits behind an unrelated slow one.
+    // so no item ever waits behind an unrelated slow one. An interrupt
+    // parks the claim counter past the end: idle workers drain out and
+    // busy ones finish (and checkpoint) their current item.
     let next = AtomicUsize::new(0);
     let parts: Vec<Vec<(usize, Result<R, SimError>)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..n_workers)
@@ -108,11 +182,14 @@ where
                 s.spawn(|| {
                     let mut local = Vec::new();
                     loop {
+                        if interrupt::requested() {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, run_one(i)));
+                        local.push((i, run_and_report(i)));
                     }
                     local
                 })
@@ -128,17 +205,25 @@ where
     for (i, r) in parts.into_iter().flatten() {
         out[i] = Some(r);
     }
+    let interrupted = interrupt::requested();
     out.into_iter()
         .enumerate()
         .map(|(i, slot)| {
             slot.unwrap_or_else(|| {
-                // Only reachable if a worker died outside catch_unwind
-                // (e.g. an abort-on-OOM race); the item's position still
-                // gets a typed error instead of poisoning the sweep.
-                Err(SimError::WorkerPanicked {
-                    item: i,
-                    detail: "item was never processed".into(),
-                })
+                if interrupted {
+                    // Never claimed because the sweep was interrupted:
+                    // resumable, not failed.
+                    Err(SimError::Interrupted)
+                } else {
+                    // Only reachable if a worker died outside
+                    // catch_unwind (e.g. an abort-on-OOM race); the
+                    // item's position still gets a typed error instead
+                    // of poisoning the sweep.
+                    Err(SimError::WorkerPanicked {
+                        item: i,
+                        detail: "item was never processed".into(),
+                    })
+                }
             })
         })
         .collect()
@@ -262,21 +347,100 @@ mod tests {
 
     #[test]
     fn threads_env_overrides_worker_count() {
-        let _l = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _l = lock_unpoisoned(&ENV_LOCK);
         let _g = EnvGuard::set("3");
-        assert_eq!(worker_count(100), 3);
-        assert_eq!(worker_count(2), 2, "still clamped to the item count");
+        assert_eq!(worker_count(100).unwrap(), 3);
+        assert_eq!(
+            worker_count(2).unwrap(),
+            2,
+            "still clamped to the item count"
+        );
         drop(_g);
-        let _g = EnvGuard::set("not-a-number");
+        std::env::remove_var("TLPSIM_THREADS");
         let host = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
-        assert_eq!(worker_count(1_000_000), host, "garbage override ignored");
+        assert_eq!(
+            worker_count(1_000_000).unwrap(),
+            host,
+            "unset uses the host"
+        );
     }
 
     #[test]
+    fn malformed_threads_env_is_a_typed_error_not_a_fallback() {
+        let _l = lock_unpoisoned(&ENV_LOCK);
+        for bad in ["not-a-number", "0", "-2", "1.5", ""] {
+            let _g = EnvGuard::set(bad);
+            match worker_count(8) {
+                Err(SimError::InvalidConfig(msg)) => {
+                    assert!(msg.contains(bad), "diagnostic must quote {bad:?}: {msg}")
+                }
+                other => panic!("TLPSIM_THREADS={bad:?}: expected InvalidConfig, got {other:?}"),
+            }
+            // The sweep surface: every slot reports the same error and
+            // nothing is computed.
+            let ran = AtomicU32::new(0);
+            let out = par_map(&[1u8, 2, 3], |_| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            });
+            assert_eq!(out.len(), 3);
+            assert!(out
+                .iter()
+                .all(|r| matches!(r, Err(SimError::InvalidConfig(_)))));
+            assert_eq!(ran.load(Ordering::SeqCst), 0, "nothing may run");
+        }
+    }
+
+    #[test]
+    fn lock_unpoisoned_recovers_a_poisoned_mutex() {
+        let m = Mutex::new(41);
+        // Poison it: a thread panics while holding the guard.
+        std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                let _g = m.lock().unwrap();
+                panic!("poison the lock");
+            });
+            assert!(h.join().is_err(), "the poisoning thread must panic");
+        });
+        assert!(m.is_poisoned());
+        *lock_unpoisoned(&m) += 1;
+        assert_eq!(*lock_unpoisoned(&m), 42, "data survives the poison");
+    }
+
+    #[test]
+    fn completion_hook_sees_every_processed_item() {
+        let _l = lock_unpoisoned(&ENV_LOCK);
+        let _g = EnvGuard::set("2");
+        let seen = Mutex::new(Vec::new());
+        let items: Vec<u32> = (0..9).collect();
+        let out = par_map_with(
+            &items,
+            |&x| {
+                if x == 4 {
+                    Err(SimError::InvalidConfig("cell 4".into()))
+                } else {
+                    Ok(x * 10)
+                }
+            },
+            |i, r| seen.lock().unwrap().push((i, r.is_ok())),
+        );
+        assert_eq!(out.len(), 9);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        let want: Vec<(usize, bool)> = (0..9).map(|i| (i, i != 4)).collect();
+        assert_eq!(seen, want, "hook fires once per item, Ok and Err alike");
+    }
+
+    // Interrupt-driven executor behavior is covered in
+    // `tests/interrupt_sweep.rs`: the flag is process-global, so those
+    // tests live in their own binary where raising it cannot race the
+    // other par_map tests here.
+
+    #[test]
     fn single_thread_is_serial_in_order_on_calling_thread() {
-        let _l = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _l = lock_unpoisoned(&ENV_LOCK);
         let _g = EnvGuard::set("1");
         let caller = std::thread::current().id();
         let order = Mutex::new(Vec::new());
@@ -321,7 +485,7 @@ mod tests {
         // while this one is stuck. Static partitioning (half the items
         // pre-assigned to the stuck worker) would deadlock here; the
         // 10s ceiling turns that into a loud failure.
-        let _l = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _l = lock_unpoisoned(&ENV_LOCK);
         let _g = EnvGuard::set("2");
         let fast_done = AtomicU32::new(0);
         let items: Vec<u32> = (0..7).collect();

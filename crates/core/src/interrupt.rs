@@ -1,0 +1,70 @@
+//! Cooperative interrupt handling for long sweeps (DESIGN.md §12).
+//!
+//! A SIGINT/SIGTERM during a multi-hour campaign must not discard hours
+//! of simulation: the handler only sets one process-global flag, and
+//! the cooperative checkpoints observe it — the sweep executor stops
+//! claiming new cells, in-flight cells checkpoint their engine state,
+//! and the process exits with code 130 leaving the journal and
+//! checkpoint files ready for `tlpsim resume`.
+//!
+//! The handler itself is the minimal async-signal-safe action (one
+//! atomic store); everything observable happens on the normal control
+//! path via [`requested`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Has an interrupt been requested (signal received, or [`request`]
+/// called)?
+pub fn requested() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Raise the interrupt flag from the normal control path — what the
+/// signal handler does, callable directly (tests, embedding).
+pub fn request() {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Clear the flag (tests; a fresh command after a handled interrupt).
+pub fn reset() {
+    INTERRUPTED.store(false, Ordering::SeqCst);
+}
+
+/// Route SIGINT and SIGTERM to the interrupt flag. Idempotent; no-op
+/// off Unix (the flag still works via [`request`]).
+#[cfg(unix)]
+pub fn install_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        // The only async-signal-safe thing we do: one atomic store.
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+pub fn install_handlers() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trip() {
+        reset();
+        assert!(!requested());
+        request();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+}

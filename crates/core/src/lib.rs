@@ -44,7 +44,10 @@ pub mod dynamic;
 pub mod error;
 pub mod executor;
 pub mod experiments;
+pub mod interrupt;
+pub mod journal;
 pub mod metrics;
+pub mod snapshot;
 
 pub use error::SimError;
 

@@ -1,0 +1,152 @@
+//! Atomic, checksummed engine checkpoints (DESIGN.md §12, level 2).
+//!
+//! One checkpoint file holds the full serialized engine state of one
+//! in-flight cell simulation (`MultiCore::save_state`). Files are
+//! written crash-safely — payload to a temporary sibling, `sync_data`,
+//! then an atomic rename — so a SIGKILL at any instant leaves either
+//! the previous intact checkpoint or the new one, never a torn file.
+//! Readers validate a magic tag, a length field and an FNV-1a checksum;
+//! anything invalid reads as "no checkpoint" and the cell recomputes
+//! from scratch (correct, just slower).
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use tlpsim_mem::fnv1a64;
+
+/// Leading magic of a checkpoint file; bump the trailing digit on any
+/// layout change.
+pub const CKPT_MAGIC: &[u8; 8] = b"TLPSCK1\n";
+
+/// Write `payload` to `path` atomically: temp sibling + `sync_data` +
+/// rename. The header is `CKPT_MAGIC`, the payload's FNV-1a checksum
+/// and its length (both little-endian u64).
+///
+/// # Errors
+/// Any I/O failure; the destination is untouched in that case.
+pub fn write_atomic(path: &Path, payload: &[u8]) -> std::io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(CKPT_MAGIC)?;
+        f.write_all(&fnv1a64(payload).to_le_bytes())?;
+        f.write_all(&(payload.len() as u64).to_le_bytes())?;
+        f.write_all(payload)?;
+        // Durability point: the rename below must never publish a file
+        // whose data blocks are still in flight.
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Read a checkpoint back, returning the payload only if the magic,
+/// length and checksum all verify. `None` means "no usable checkpoint"
+/// — missing file, foreign file, torn or bit-rotted content alike.
+pub fn read_validated(path: &Path) -> Option<Vec<u8>> {
+    let bytes = std::fs::read(path).ok()?;
+    let head = CKPT_MAGIC.len();
+    if bytes.len() < head + 16 || &bytes[..head] != CKPT_MAGIC {
+        return None;
+    }
+    let sum = u64::from_le_bytes(bytes[head..head + 8].try_into().ok()?);
+    let len = u64::from_le_bytes(bytes[head + 8..head + 16].try_into().ok()?);
+    let payload = &bytes[head + 16..];
+    if payload.len() as u64 != len || fnv1a64(payload) != sum {
+        return None;
+    }
+    Some(payload.to_vec())
+}
+
+/// The temporary sibling a checkpoint is staged in before the rename.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Parse `TLPSIM_CKPT_CYCLES`: unset or empty means checkpointing off
+/// (`None`); otherwise the value must be a positive integer cycle
+/// interval. Malformed values are a hard error — a sweep that looks
+/// checkpointed but silently is not would be discovered only at the
+/// crash it was meant to survive.
+///
+/// # Errors
+/// A diagnostic string naming the bad value.
+pub fn interval_from_env() -> Result<Option<u64>, String> {
+    match std::env::var("TLPSIM_CKPT_CYCLES") {
+        Err(_) => Ok(None),
+        Ok(v) if v.trim().is_empty() => Ok(None),
+        Ok(v) => v
+            .trim()
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n > 0)
+            .map(Some)
+            .ok_or_else(|| format!("TLPSIM_CKPT_CYCLES={v:?} is not a positive cycle count")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tlpsim-ckpt-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn round_trip_and_overwrite() {
+        let dir = tmp_dir("rt");
+        let p = dir.join("cell.ckpt");
+        assert_eq!(read_validated(&p), None, "missing file reads as none");
+        write_atomic(&p, b"first state").unwrap();
+        assert_eq!(read_validated(&p).unwrap(), b"first state");
+        write_atomic(&p, b"second state").unwrap();
+        assert_eq!(read_validated(&p).unwrap(), b"second state");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_reads_as_none() {
+        let dir = tmp_dir("bad");
+        let p = dir.join("cell.ckpt");
+        write_atomic(&p, b"some serialized engine state").unwrap();
+        let good = std::fs::read(&p).unwrap();
+
+        // Truncation anywhere: header, checksum, payload.
+        for cut in [0, 4, CKPT_MAGIC.len() + 7, good.len() - 1] {
+            std::fs::write(&p, &good[..cut]).unwrap();
+            assert_eq!(read_validated(&p), None, "truncated to {cut} bytes");
+        }
+        // One flipped payload byte.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        std::fs::write(&p, &bad).unwrap();
+        assert_eq!(read_validated(&p), None, "bit flip accepted");
+        // A foreign file.
+        std::fs::write(&p, b"not a checkpoint at all").unwrap();
+        assert_eq!(read_validated(&p), None, "foreign file accepted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interval_env_parses_strictly() {
+        // Serialized with the executor's env tests by distinct var
+        // names, so no lock needed here.
+        std::env::remove_var("TLPSIM_CKPT_CYCLES");
+        assert_eq!(interval_from_env(), Ok(None));
+        std::env::set_var("TLPSIM_CKPT_CYCLES", "");
+        assert_eq!(interval_from_env(), Ok(None));
+        std::env::set_var("TLPSIM_CKPT_CYCLES", " 250000 ");
+        assert_eq!(interval_from_env(), Ok(Some(250_000)));
+        for bad in ["0", "-5", "many", "1e6", "100k"] {
+            std::env::set_var("TLPSIM_CKPT_CYCLES", bad);
+            let e = interval_from_env().expect_err(bad);
+            assert!(e.contains(bad), "diagnostic must quote the value: {e}");
+        }
+        std::env::remove_var("TLPSIM_CKPT_CYCLES");
+    }
+}

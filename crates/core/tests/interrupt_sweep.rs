@@ -1,0 +1,169 @@
+//! Integration tests of graceful interrupts (DESIGN.md §12): the
+//! executor stops claiming work once the interrupt flag is up, cells
+//! in flight surface as typed [`SimError::Interrupted`] (never as
+//! partial results), and a checkpointed cell interrupted mid-flight
+//! resumes bit-identically in a fresh context.
+//!
+//! These live in their own test binary because the interrupt flag is
+//! process-global: raising it next to the concurrently-running unit
+//! tests of `par_map` would interrupt *their* sweeps too. Within this
+//! binary, every test serializes on [`GATE`] and lowers the flag again.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use tlpsim_core::configs;
+use tlpsim_core::ctx::{Ctx, WorkloadKind};
+use tlpsim_core::executor::{lock_unpoisoned, par_map, par_map_with};
+use tlpsim_core::{interrupt, SimError, SimScale};
+
+/// Serializes the tests of this binary (shared interrupt flag and
+/// `TLPSIM_THREADS`).
+static GATE: Mutex<()> = Mutex::new(());
+
+/// Run `body` with the flag lowered on entry and exit and the worker
+/// count pinned to `threads`.
+fn with_gate<R>(threads: &str, body: impl FnOnce() -> R) -> R {
+    let _g = lock_unpoisoned(&GATE);
+    std::env::set_var("TLPSIM_THREADS", threads);
+    interrupt::reset();
+    let r = body();
+    interrupt::reset();
+    std::env::remove_var("TLPSIM_THREADS");
+    r
+}
+
+#[test]
+fn serial_executor_stops_claiming_after_interrupt() {
+    with_gate("1", || {
+        let items: Vec<usize> = (0..6).collect();
+        let ran = AtomicUsize::new(0);
+        let out = par_map(&items, |&i| {
+            ran.fetch_add(1, Ordering::SeqCst);
+            if i == 2 {
+                // What a SIGINT during item 2 does.
+                interrupt::request();
+            }
+            Ok(i * 10)
+        });
+        // The in-flight item finishes (and may checkpoint); everything
+        // after it is typed as resumable, not run and not failed.
+        assert_eq!(ran.load(Ordering::SeqCst), 3, "items 0..=2 run");
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(out[1], Ok(10));
+        assert_eq!(out[2], Ok(20));
+        for r in &out[3..] {
+            assert_eq!(*r, Err(SimError::Interrupted));
+        }
+    });
+}
+
+#[test]
+fn parallel_workers_drain_after_interrupt() {
+    with_gate("3", || {
+        let items: Vec<usize> = (0..32).collect();
+        let out = par_map_with(
+            &items,
+            |&i| {
+                if i == 1 {
+                    interrupt::request();
+                }
+                Ok(i)
+            },
+            |_, _| {},
+        );
+        let done = out.iter().filter(|r| r.is_ok()).count();
+        let cut = out
+            .iter()
+            .filter(|r| matches!(r, Err(SimError::Interrupted)))
+            .count();
+        assert_eq!(done + cut, items.len(), "no item may vanish or fail");
+        assert!(done >= 1, "the interrupting item itself completes");
+        assert!(
+            cut >= 1,
+            "an interrupt this early must leave unclaimed items"
+        );
+    });
+}
+
+#[test]
+fn hook_never_fires_for_unclaimed_items() {
+    with_gate("1", || {
+        let items: Vec<usize> = (0..5).collect();
+        let reported = Mutex::new(Vec::new());
+        let _ = par_map_with(
+            &items,
+            |&i| {
+                if i == 0 {
+                    interrupt::request();
+                }
+                Ok(i)
+            },
+            |i, _| lock_unpoisoned(&reported).push(i),
+        );
+        // Only item 0 ran, so the journal (the real hook) must record
+        // exactly that one cell — an unclaimed cell journaled as done
+        // would be silently wrong forever.
+        assert_eq!(*lock_unpoisoned(&reported), vec![0]);
+    });
+}
+
+#[test]
+fn interrupted_cell_is_a_typed_error_not_a_partial_cell() {
+    with_gate("1", || {
+        let ctx = Ctx::new(SimScale::quick());
+        let d = configs::by_name("4B").unwrap();
+        interrupt::request();
+        match ctx.mp_cell(&d, 1, WorkloadKind::Heterogeneous, true) {
+            Err(SimError::Interrupted) => {}
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+        assert_eq!(
+            ctx.cache_stats().cells,
+            0,
+            "an interrupted cell must never be cached"
+        );
+    });
+}
+
+#[test]
+fn checkpointed_interrupt_resumes_bit_identical_in_a_fresh_context() {
+    with_gate("1", || {
+        let d = configs::by_name("4B").unwrap();
+        let reference = Ctx::new(SimScale::quick())
+            .mp_cell(&d, 1, WorkloadKind::Heterogeneous, true)
+            .expect("reference cell");
+
+        let dir: PathBuf =
+            std::env::temp_dir().join(format!("tlpsim-int-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Interrupt immediately: the first mix checkpoints its (just
+        // prewarmed) state and the cell surfaces as resumable.
+        let ctx = Ctx::new(SimScale::quick()).with_checkpoints(dir.clone(), 2_000);
+        interrupt::request();
+        match ctx.mp_cell(&d, 1, WorkloadKind::Heterogeneous, true) {
+            Err(SimError::Interrupted) => {}
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+        let ckpts = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        assert!(ckpts >= 1, "the in-flight mix must leave a checkpoint");
+
+        // A fresh context (fresh process, in real life) restores the
+        // checkpoint and finishes; the result must not know the
+        // difference.
+        interrupt::reset();
+        let resumed = Ctx::new(SimScale::quick())
+            .with_checkpoints(dir.clone(), 2_000)
+            .mp_cell(&d, 1, WorkloadKind::Heterogeneous, true)
+            .expect("resumed cell");
+        assert_eq!(
+            *reference, *resumed,
+            "restore-and-continue diverged from the uninterrupted run"
+        );
+        let leftover = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        assert_eq!(leftover, 0, "completed runs must remove their checkpoints");
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}

@@ -91,6 +91,37 @@ impl Bus {
             self.total_queue_cycles as f64 / self.transfers as f64
         }
     }
+
+    /// Serialize the mutable state (queue head, counters); the
+    /// occupancy is config-derived and only validated on restore.
+    pub fn snap_save(&self, w: &mut crate::SnapWriter) {
+        w.marker(b"BUS ");
+        w.u64(self.occupancy_cycles);
+        w.u64(self.next_free);
+        w.u64(self.transfers);
+        w.u64(self.total_queue_cycles);
+    }
+
+    /// Restore state saved by [`snap_save`](Self::snap_save).
+    ///
+    /// # Errors
+    /// [`SnapError`](crate::SnapError) on truncation or when the saved
+    /// occupancy disagrees with this bus's configuration.
+    pub fn snap_restore(&mut self, r: &mut crate::SnapReader<'_>) -> Result<(), crate::SnapError> {
+        r.marker(b"BUS ")?;
+        let occupancy = r.u64()?;
+        crate::snap_ensure(
+            occupancy == self.occupancy_cycles,
+            format!(
+                "bus occupancy: structure {}, snapshot {occupancy}",
+                self.occupancy_cycles
+            ),
+        )?;
+        self.next_free = r.u64()?;
+        self.transfers = r.u64()?;
+        self.total_queue_cycles = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -326,6 +326,59 @@ impl Cache {
             self.misses as f64 / total as f64
         }
     }
+
+    /// Serialize every mutable field (tag/stamp/dirty SoA arrays, MRU
+    /// marker, recency tick, counters). Geometry (`cfg`, `sets`, `idx`)
+    /// is structural: the restorer rebuilds it and
+    /// [`snap_restore`](Self::snap_restore) validates against it.
+    pub fn snap_save(&self, w: &mut crate::SnapWriter) {
+        w.marker(b"CACH");
+        w.u64_slice(&self.tags);
+        w.u64_slice(&self.stamps);
+        w.bool_slice(&self.dirty);
+        w.u64(self.last_line);
+        w.u32(self.last_way);
+        w.u64(self.tick);
+        w.u64(self.hits);
+        w.u64(self.misses);
+        w.u64(self.writebacks);
+    }
+
+    /// Restore mutable state saved by [`snap_save`](Self::snap_save)
+    /// into a structurally identical cache.
+    ///
+    /// # Errors
+    /// [`SnapError`](crate::SnapError) on truncation or when the saved
+    /// arrays do not match this cache's geometry.
+    pub fn snap_restore(&mut self, r: &mut crate::SnapReader<'_>) -> Result<(), crate::SnapError> {
+        r.marker(b"CACH")?;
+        let tags = r.u64_vec()?;
+        crate::snap_ensure(
+            tags.len() == self.tags.len(),
+            format!(
+                "cache has {} ways, snapshot {}",
+                self.tags.len(),
+                tags.len()
+            ),
+        )?;
+        let stamps = r.u64_vec()?;
+        crate::snap_ensure(
+            stamps.len() == self.stamps.len(),
+            "cache stamp array length",
+        )?;
+        let dirty = r.bool_vec()?;
+        crate::snap_ensure(dirty.len() == self.dirty.len(), "cache dirty array length")?;
+        self.tags = tags;
+        self.stamps = stamps;
+        self.dirty = dirty;
+        self.last_line = r.u64()?;
+        self.last_way = r.u32()?;
+        self.tick = r.u64()?;
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        self.writebacks = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -89,6 +89,46 @@ impl Dram {
             self.total_queue_cycles as f64 / self.accesses as f64
         }
     }
+
+    /// Serialize the mutable state (per-bank queue heads, counters);
+    /// the access latency is config-derived and validated on restore.
+    pub fn snap_save(&self, w: &mut crate::SnapWriter) {
+        w.marker(b"DRAM");
+        w.u64(self.access_cycles);
+        w.u64_slice(&self.next_free);
+        w.u64(self.accesses);
+        w.u64(self.total_queue_cycles);
+    }
+
+    /// Restore state saved by [`snap_save`](Self::snap_save).
+    ///
+    /// # Errors
+    /// [`SnapError`](crate::SnapError) on truncation or when the bank
+    /// count or access latency disagrees with this DRAM's configuration.
+    pub fn snap_restore(&mut self, r: &mut crate::SnapReader<'_>) -> Result<(), crate::SnapError> {
+        r.marker(b"DRAM")?;
+        let access = r.u64()?;
+        crate::snap_ensure(
+            access == self.access_cycles,
+            format!(
+                "dram access cycles: structure {}, snapshot {access}",
+                self.access_cycles
+            ),
+        )?;
+        let next_free = r.u64_vec()?;
+        crate::snap_ensure(
+            next_free.len() == self.next_free.len(),
+            format!(
+                "dram has {} banks, snapshot {}",
+                self.next_free.len(),
+                next_free.len()
+            ),
+        )?;
+        self.next_free = next_free;
+        self.accesses = r.u64()?;
+        self.total_queue_cycles = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ mod cache;
 mod dram;
 mod hash;
 mod hierarchy;
+mod snap;
 mod stats;
 
 pub use addr::{Addr, LineAddr, LINE_BYTES};
@@ -46,6 +47,7 @@ pub use hash::{fnv1a64, FastBuildHasher, FastHasher, FastMap};
 pub use hierarchy::{
     AccessKind, AccessResult, HitLevel, MemoryConfig, MemorySystem, PrivateCacheConfig,
 };
+pub use snap::{snap_ensure, snap_mismatch, SnapError, SnapReader, SnapWriter};
 pub use stats::{CoreMemStats, MemStats};
 
 /// A point in simulated time, measured in core clock cycles.

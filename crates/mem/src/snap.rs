@@ -1,0 +1,411 @@
+//! The snapshot wire format (DESIGN.md §12).
+//!
+//! Checkpoint/restore serializes every piece of *mutable* simulation
+//! state into one flat little-endian byte buffer. The format is
+//! deliberately primitive — fixed-width integers, `f64` as raw bits,
+//! length-prefixed sequences — because the contract is not schema
+//! evolution but **bit-identity**: a restored run must continue exactly
+//! as the uninterrupted run would have, so every value round-trips
+//! losslessly and nothing is re-derived at load time that could drift.
+//!
+//! Structure (configs, geometries, thread placements) is *not*
+//! serialized: the caller rebuilds the simulation structurally from its
+//! cell key and then restores only the mutable state into it. Each
+//! layer guards its section with a four-byte marker and validates
+//! structural invariants (array lengths, config-derived constants)
+//! against the rebuilt object, so restoring into the wrong structure is
+//! a typed [`SnapError`], never silent corruption.
+
+/// Why a snapshot could not be decoded or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The buffer ended before the value being read.
+    Truncated {
+        /// Byte offset at which the read ran out.
+        at: usize,
+    },
+    /// A section marker did not match: the snapshot and the rebuilt
+    /// structure disagree about what comes next.
+    BadMarker {
+        /// The marker the reader expected.
+        expected: [u8; 4],
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// A decoded value contradicts the structure being restored into
+    /// (wrong array length, out-of-range enum tag, wrong fingerprint).
+    Mismatch {
+        /// What exactly disagreed.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for SnapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapError::Truncated { at } => write!(f, "snapshot truncated at byte {at}"),
+            SnapError::BadMarker { expected, found } => write!(
+                f,
+                "snapshot section marker mismatch: expected {:?}, found {:?}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found)
+            ),
+            SnapError::Mismatch { what } => write!(f, "snapshot does not fit structure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Convenience constructor for [`SnapError::Mismatch`].
+pub fn snap_mismatch(what: impl Into<String>) -> SnapError {
+    SnapError::Mismatch { what: what.into() }
+}
+
+/// Append-only encoder for the snapshot byte stream.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        SnapWriter { buf: Vec::new() }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Write a four-byte section marker (e.g. `b"CACH"`); the matching
+    /// [`SnapReader::marker`] call validates stream alignment.
+    pub fn marker(&mut self, m: &[u8; 4]) {
+        self.buf.extend_from_slice(m);
+    }
+
+    /// Write a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u32` (little-endian).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u16` (little-endian).
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Write a `usize` as `u64` (the format is 64-bit regardless of
+    /// host).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Write an `f64` as its raw IEEE-754 bits — lossless round-trip,
+    /// NaN payloads included.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Write an `Option<u64>` as presence byte + value.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Write a `u64` slice as length prefix + elements.
+    pub fn u64_slice(&mut self, v: &[u64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.u64(x);
+        }
+    }
+
+    /// Write a `bool` slice as length prefix + one byte each.
+    pub fn bool_slice(&mut self, v: &[bool]) {
+        self.usize(v.len());
+        for &x in v {
+            self.bool(x);
+        }
+    }
+}
+
+/// Sequential decoder over a snapshot byte stream.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current read offset (for diagnostics).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated { at: self.pos });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Expect a four-byte section marker written by
+    /// [`SnapWriter::marker`].
+    pub fn marker(&mut self, m: &[u8; 4]) -> Result<(), SnapError> {
+        let got = self.take(4)?;
+        if got != m {
+            return Err(SnapError::BadMarker {
+                expected: *m,
+                found: [got[0], got[1], got[2], got[3]],
+            });
+        }
+        Ok(())
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self) -> Result<u16, SnapError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes(b.try_into().expect("2 bytes")))
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `bool`; any byte other than 0/1 is a mismatch.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(snap_mismatch(format!("bool byte {b:#04x}"))),
+        }
+    }
+
+    /// Read a `usize` (stored as `u64`); errors if it overflows the
+    /// host's `usize`.
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| snap_mismatch(format!("usize overflow: {v}")))
+    }
+
+    /// Read an `f64` from its raw bits.
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read an `Option<u64>`.
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, SnapError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            b => Err(snap_mismatch(format!("option byte {b:#04x}"))),
+        }
+    }
+
+    /// Read a length-prefixed `u64` sequence.
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, SnapError> {
+        let n = self.bounded_len()?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.u64()?);
+        }
+        Ok(v)
+    }
+
+    /// Read a length-prefixed `bool` sequence.
+    pub fn bool_vec(&mut self) -> Result<Vec<bool>, SnapError> {
+        let n = self.bounded_len()?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.bool()?);
+        }
+        Ok(v)
+    }
+
+    /// Read a sequence length, rejecting lengths that cannot possibly
+    /// fit in the remaining bytes (so a corrupt length cannot trigger a
+    /// huge allocation before the inevitable `Truncated`).
+    pub fn bounded_len(&mut self) -> Result<usize, SnapError> {
+        let n = self.usize()?;
+        if n > self.remaining() {
+            return Err(snap_mismatch(format!(
+                "sequence length {n} exceeds {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Assert the whole stream was consumed (trailing garbage means the
+    /// snapshot and structure disagree somewhere upstream).
+    pub fn expect_end(&self) -> Result<(), SnapError> {
+        if self.remaining() != 0 {
+            return Err(snap_mismatch(format!(
+                "{} trailing bytes after final section",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Check a structural invariant while restoring; `what` should name the
+/// disagreeing quantity.
+pub fn snap_ensure(cond: bool, what: impl Into<String>) -> Result<(), SnapError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(snap_mismatch(what))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = SnapWriter::new();
+        w.marker(b"TEST");
+        w.u64(u64::MAX);
+        w.u32(0xDEAD_BEEF);
+        w.u16(4097);
+        w.u8(7);
+        w.bool(true);
+        w.bool(false);
+        w.usize(123_456);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.opt_u64(None);
+        w.opt_u64(Some(99));
+        w.u64_slice(&[1, 2, 3]);
+        w.bool_slice(&[true, false, true]);
+        let bytes = w.finish();
+
+        let mut r = SnapReader::new(&bytes);
+        r.marker(b"TEST").unwrap();
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u16().unwrap(), 4097);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.usize().unwrap(), 123_456);
+        let z = r.f64().unwrap();
+        assert_eq!(z.to_bits(), (-0.0f64).to_bits(), "signed zero preserved");
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.opt_u64().unwrap(), Some(99));
+        assert_eq!(r.u64_vec().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.bool_vec().unwrap(), vec![true, false, true]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_detected_not_panicked() {
+        let mut w = SnapWriter::new();
+        w.u64(42);
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            let mut r = SnapReader::new(&bytes[..cut]);
+            assert!(matches!(r.u64(), Err(SnapError::Truncated { .. })));
+        }
+    }
+
+    #[test]
+    fn marker_mismatch_names_both_sides() {
+        let mut w = SnapWriter::new();
+        w.marker(b"AAAA");
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes);
+        match r.marker(b"BBBB") {
+            Err(SnapError::BadMarker { expected, found }) => {
+                assert_eq!(&expected, b"BBBB");
+                assert_eq!(&found, b"AAAA");
+            }
+            other => panic!("expected BadMarker, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_length_cannot_trigger_huge_allocation() {
+        let mut w = SnapWriter::new();
+        w.usize(usize::MAX / 2); // absurd length, no elements
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(r.u64_vec(), Err(SnapError::Mismatch { .. })));
+    }
+
+    #[test]
+    fn bad_bool_and_option_bytes_are_mismatches() {
+        let bytes = [3u8, 2u8];
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(r.bool(), Err(SnapError::Mismatch { .. })));
+        assert!(matches!(r.opt_u64(), Err(SnapError::Mismatch { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = SnapWriter::new();
+        w.u8(1);
+        let bytes = w.finish();
+        let r = SnapReader::new(&bytes);
+        assert!(r.expect_end().is_err());
+    }
+}

@@ -326,6 +326,171 @@ impl Slot {
         }
         next
     }
+
+    /// Serialize every mutable field of this hardware context,
+    /// including the scheduler's calendar and wake-chain state —
+    /// nothing is re-derived on restore, so the restored slot issues
+    /// in exactly the order the saved one would have.
+    pub(crate) fn snap_save(&self, w: &mut tlpsim_mem::SnapWriter) {
+        w.marker(b"SLOT");
+        w.usize(self.threads.len());
+        for &t in &self.threads {
+            w.usize(t);
+        }
+        w.u64(self.quantum_left);
+        w.u64(self.fetch_blocked_until);
+        w.opt_u64(self.awaiting_redirect);
+        w.usize(self.rob.len());
+        for e in &self.rob {
+            w.u64(e.seq);
+            w.u8(crate::snapio::kind_tag(e.kind));
+            w.u64(e.prod1);
+            w.u64(e.prod2);
+            w.u64(e.addr.0);
+            w.bool(e.mispredicted);
+            w.bool(e.issued);
+            w.u64(e.done_at);
+            w.u8(e.nwait);
+            w.u32(e.whead);
+            w.u32(e.wnext1);
+            w.u32(e.wnext2);
+            w.u64(e.ready_part);
+            w.u8(e.level);
+        }
+        w.usize(self.unissued.len());
+        for &q in &self.unissued {
+            w.u64(q);
+        }
+        for b in &self.cal_wheel {
+            w.usize(b.len());
+            for &(r, q) in b {
+                w.u64(r);
+                w.u64(q);
+            }
+        }
+        w.u64(self.cal_occ);
+        w.u64(self.cal_last);
+        w.usize(self.cal_far.len());
+        for &(r, q) in &self.cal_far {
+            w.u64(r);
+            w.u64(q);
+        }
+        for l in &self.active {
+            w.usize(l.len());
+            for &q in l {
+                w.u64(q);
+            }
+        }
+        w.usize(self.spin.len());
+        for &q in &self.spin {
+            w.u64(q);
+        }
+        match self.pending {
+            None => w.u8(0),
+            Some(Pending::Block(st)) => {
+                w.u8(1);
+                crate::snapio::save_pstate(st, w);
+            }
+            Some(Pending::Finish) => w.u8(2),
+            Some(Pending::Switch) => w.u8(3),
+        }
+        w.bool(self.issue_dirty);
+        w.u64(self.issue_wake);
+    }
+
+    /// Restore state saved by [`snap_save`](Self::snap_save);
+    /// `nthreads` bounds the thread ids this slot may reference.
+    pub(crate) fn snap_restore(
+        &mut self,
+        r: &mut tlpsim_mem::SnapReader<'_>,
+        nthreads: usize,
+    ) -> Result<(), tlpsim_mem::SnapError> {
+        use tlpsim_mem::{snap_ensure, snap_mismatch};
+        r.marker(b"SLOT")?;
+        let nt = r.bounded_len()?;
+        self.threads.clear();
+        for _ in 0..nt {
+            let t = r.usize()?;
+            snap_ensure(
+                t < nthreads,
+                format!("slot queues thread {t}, only {nthreads} exist"),
+            )?;
+            self.threads.push_back(t);
+        }
+        self.quantum_left = r.u64()?;
+        self.fetch_blocked_until = r.u64()?;
+        self.awaiting_redirect = r.opt_u64()?;
+        let nrob = r.bounded_len()?;
+        self.rob.clear();
+        for _ in 0..nrob {
+            self.rob.push_back(RobEntry {
+                seq: r.u64()?,
+                kind: crate::snapio::kind_from_tag(r.u8()?)?,
+                prod1: r.u64()?,
+                prod2: r.u64()?,
+                addr: Addr(r.u64()?),
+                mispredicted: r.bool()?,
+                issued: r.bool()?,
+                done_at: r.u64()?,
+                nwait: r.u8()?,
+                whead: r.u32()?,
+                wnext1: r.u32()?,
+                wnext2: r.u32()?,
+                ready_part: r.u64()?,
+                level: r.u8()?,
+            });
+        }
+        let nun = r.bounded_len()?;
+        self.unissued.clear();
+        for _ in 0..nun {
+            self.unissued.push_back(r.u64()?);
+        }
+        for b in self.cal_wheel.iter_mut() {
+            let n = r.bounded_len()?;
+            b.clear();
+            for _ in 0..n {
+                b.push((r.u64()?, r.u64()?));
+            }
+        }
+        self.cal_occ = r.u64()?;
+        let occ_from_buckets = self
+            .cal_wheel
+            .iter()
+            .enumerate()
+            .fold(0u64, |m, (i, b)| m | (u64::from(!b.is_empty()) << i));
+        snap_ensure(
+            self.cal_occ == occ_from_buckets,
+            "calendar occupancy mask disagrees with bucket contents",
+        )?;
+        self.cal_last = r.u64()?;
+        let nfar = r.bounded_len()?;
+        self.cal_far.clear();
+        for _ in 0..nfar {
+            self.cal_far.push((r.u64()?, r.u64()?));
+        }
+        for l in self.active.iter_mut() {
+            let n = r.bounded_len()?;
+            l.clear();
+            for _ in 0..n {
+                l.push(r.u64()?);
+            }
+        }
+        let nspin = r.bounded_len()?;
+        self.spin.clear();
+        for _ in 0..nspin {
+            self.spin.push(r.u64()?);
+        }
+        self.pending = match r.u8()? {
+            0 => None,
+            1 => Some(Pending::Block(crate::snapio::load_pstate(r)?)),
+            2 => Some(Pending::Finish),
+            3 => Some(Pending::Switch),
+            t => return Err(snap_mismatch(format!("pending tag {t}"))),
+        };
+        self.issue_dirty = r.bool()?;
+        self.issue_wake = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Inputs to [`CoreModel::classify_slot`] that are uniform across a
@@ -1543,5 +1708,77 @@ impl CoreModel {
         if any_runnable && budget == width {
             self.stats.fetch_idle_cycles += 1;
         }
+    }
+
+    /// Serialize the core's mutable state: arbiter pointers, statistics
+    /// and every hardware context. The configuration is structural.
+    pub(crate) fn snap_save(&self, w: &mut tlpsim_mem::SnapWriter) {
+        w.marker(b"CORE");
+        w.usize(self.core_id);
+        w.usize(self.slots.len());
+        w.usize(self.rr_fetch);
+        w.usize(self.rr_issue);
+        w.usize(self.rr_commit);
+        let st = &self.stats;
+        w.u64(st.cycles);
+        w.u64(st.busy_cycles);
+        w.u64(st.active_ctx_cycles);
+        w.u64_slice(&st.committed);
+        w.u64(st.dispatched);
+        w.u64(st.issued);
+        w.u64(st.fetch_idle_cycles);
+        for s in &self.slots {
+            s.snap_save(w);
+        }
+    }
+
+    /// Restore state saved by [`snap_save`](Self::snap_save). Clears
+    /// the next-event cache: cached results describe the pre-restore
+    /// state and are re-derived lazily.
+    pub(crate) fn snap_restore(
+        &mut self,
+        r: &mut tlpsim_mem::SnapReader<'_>,
+        nthreads: usize,
+    ) -> Result<(), tlpsim_mem::SnapError> {
+        use tlpsim_mem::snap_ensure;
+        r.marker(b"CORE")?;
+        let cid = r.usize()?;
+        snap_ensure(
+            cid == self.core_id,
+            format!("core id: structure {}, snapshot {cid}", self.core_id),
+        )?;
+        let ns = r.usize()?;
+        snap_ensure(
+            ns == self.slots.len(),
+            format!("core has {} contexts, snapshot {ns}", self.slots.len()),
+        )?;
+        let nslots = self.slots.len();
+        let rrf = r.usize()?;
+        let rri = r.usize()?;
+        let rrc = r.usize()?;
+        snap_ensure(
+            rrf < nslots && rri < nslots && rrc < nslots,
+            format!("round-robin pointers {rrf}/{rri}/{rrc} out of {nslots} contexts"),
+        )?;
+        self.rr_fetch = rrf;
+        self.rr_issue = rri;
+        self.rr_commit = rrc;
+        self.stats.cycles = r.u64()?;
+        self.stats.busy_cycles = r.u64()?;
+        self.stats.active_ctx_cycles = r.u64()?;
+        let committed = r.u64_vec()?;
+        snap_ensure(
+            committed.len() == self.stats.committed.len(),
+            format!("commit histogram has {} kinds", committed.len()),
+        )?;
+        self.stats.committed.copy_from_slice(&committed);
+        self.stats.dispatched = r.u64()?;
+        self.stats.issued = r.u64()?;
+        self.stats.fetch_idle_cycles = r.u64()?;
+        for s in self.slots.iter_mut() {
+            s.snap_restore(r, nthreads)?;
+        }
+        self.ev_valid = 0;
+        Ok(())
     }
 }

@@ -21,12 +21,13 @@
 //! [`set_cycle_skipping`](MultiCore::set_cycle_skipping) to force the
 //! legacy dense stepper when debugging.
 
-use tlpsim_mem::{Cycle, FastMap, MemorySystem};
+use tlpsim_mem::{snap_ensure, Cycle, FastMap, MemorySystem, SnapError, SnapReader, SnapWriter};
 use tlpsim_trace::{NopSink, TraceSink};
 
 use crate::config::ChipConfig;
 use crate::core_model::{CoreModel, Drained, Pending};
 use crate::program::{ProgramState, ThreadCtl, ThreadProgram};
+use crate::snapio::SnapshotSink;
 use crate::stats::{RunResult, ThreadStats};
 use crate::ThreadId;
 
@@ -162,6 +163,23 @@ impl std::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// Outcome of [`MultiCore::run_slice`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunStatus {
+    /// Every thread reached its finish point; the run is complete.
+    Done(RunResult),
+    /// The slice boundary was reached with the run still live. Call
+    /// [`run_slice`](MultiCore::run_slice) again — in this process or
+    /// after a checkpoint/restore round-trip — to continue; the final
+    /// result is bit-identical to an unsliced run.
+    Paused,
+}
+
+/// Version byte of the engine snapshot format (bumped on any wire
+/// change so stale checkpoint files fail loudly instead of decoding
+/// into garbage).
+const SNAP_VERSION: u64 = 1;
+
 #[derive(Debug, Default)]
 struct LockState {
     held_by: Option<ThreadId>,
@@ -211,6 +229,18 @@ pub struct MultiCore<S: TraceSink = NopSink> {
     /// and the fills version it was computed at.
     mem_ev_cache: Cycle,
     mem_ev_version: u64,
+    /// Watchdog baseline: commit total at the last observed progress.
+    wd_last_commits: u64,
+    /// Cycle of the last observed progress (watchdog baseline).
+    wd_last_cycle: Cycle,
+    /// Commit total at the previous skip-gate evaluation.
+    skip_prev_committed: u64,
+    /// A logical run is in progress: a paused slice resumes without
+    /// re-initializing the histogram and watchdog baselines. Loop
+    /// state that used to live in `run_with_limit` locals is hoisted
+    /// into the fields above so a checkpoint taken between slices
+    /// captures it.
+    run_active: bool,
     /// Trace sink receiving cycle attributions and structural events.
     sink: S,
 }
@@ -253,6 +283,10 @@ impl<S: TraceSink> MultiCore<S> {
             skip_windows: 0,
             mem_ev_cache: 0,
             mem_ev_version: u64::MAX,
+            wd_last_commits: 0,
+            wd_last_cycle: 0,
+            skip_prev_committed: 0,
+            run_active: false,
             sink,
             chip: chip.clone(),
         }
@@ -386,6 +420,30 @@ impl<S: TraceSink> MultiCore<S> {
 
     /// Like [`run`](Self::run) with an explicit cycle limit.
     ///
+    /// # Errors
+    /// Returns [`RunError`] on unpinned threads, deadlock, or when
+    /// `limit` is exceeded.
+    pub fn run_with_limit(&mut self, limit: Cycle) -> Result<RunResult, RunError> {
+        match self.run_slice(limit, Cycle::MAX)? {
+            RunStatus::Done(r) => Ok(r),
+            RunStatus::Paused => unreachable!("stop_at == Cycle::MAX never pauses"),
+        }
+    }
+
+    /// Run until every thread finishes, `limit` is exceeded, or the
+    /// simulated clock reaches `stop_at` — whichever comes first.
+    ///
+    /// Returning [`RunStatus::Paused`] at a slice boundary leaves the
+    /// engine in a resumable state: call `run_slice` again to
+    /// continue, or [`save_state`](Self::save_state) /
+    /// [`restore_state`](Self::restore_state) around the pause to
+    /// checkpoint. Slicing is invisible to the simulation — the final
+    /// [`RunResult`] is bit-identical to an unsliced run regardless of
+    /// where (or how often) it pauses, because a dense step of a
+    /// provably-quiet cycle performs exactly the mutations
+    /// fast-forwarding it would (the §9 slot-event contract), and the
+    /// watchdog baselines live in fields captured by checkpoints.
+    ///
     /// The loop alternates dense stepping with event-driven
     /// fast-forward: after each dense cycle it computes the earliest
     /// cycle at which *any* component can act ([`Self::next_event`])
@@ -397,13 +455,26 @@ impl<S: TraceSink> MultiCore<S> {
     /// # Errors
     /// Returns [`RunError`] on unpinned threads, deadlock, or when
     /// `limit` is exceeded.
-    pub fn run_with_limit(&mut self, limit: Cycle) -> Result<RunResult, RunError> {
-        for (i, t) in self.threads.iter().enumerate() {
-            if t.core == usize::MAX {
-                return Err(RunError::UnassignedThread(i));
+    pub fn run_slice(&mut self, limit: Cycle, stop_at: Cycle) -> Result<RunStatus, RunError> {
+        if !self.run_active {
+            for (i, t) in self.threads.iter().enumerate() {
+                if t.core == usize::MAX {
+                    return Err(RunError::UnassignedThread(i));
+                }
             }
+            self.hist = vec![0; self.threads.len() + 1];
+            self.wd_last_commits = 0;
+            self.wd_last_cycle = 0;
+            // Gate for the quiescence scan: a cycle that committed
+            // instructions is certainly busy, so `next_event` would
+            // return `now + 1` and even the cached per-slot scan would
+            // be wasted. `total_committed` is maintained incrementally
+            // by `step`, so both this gate and the watchdog read it
+            // for free.
+            self.total_committed = self.threads.iter().map(|t| t.committed).sum();
+            self.skip_prev_committed = self.total_committed;
+            self.run_active = true;
         }
-        self.hist = vec![0; self.threads.len() + 1];
 
         // Check cadence: cheap power-of-two mask, fine enough that the
         // watchdog fires within ~1.25x its window even for small windows.
@@ -414,32 +485,28 @@ impl<S: TraceSink> MultiCore<S> {
         let check_period = check_mask + 1;
         // Round `c` up to the next watchdog check cycle (`c & mask == 0`).
         let next_check = |c: Cycle| c.div_ceil(check_period) * check_period;
-        let mut last_progress_commits = 0u64;
-        let mut last_progress_cycle = 0u64;
-        // Gate for the quiescence scan: a cycle that committed
-        // instructions is certainly busy, so `next_event` would return
-        // `now + 1` and even the cached per-slot scan would be wasted.
-        // `total_committed` is maintained incrementally by `step`, so
-        // both this gate and the watchdog read it for free.
-        self.total_committed = self.threads.iter().map(|t| t.committed).sum();
-        let mut prev_committed = self.total_committed;
         while !self.finished() {
+            if self.now >= stop_at {
+                return Ok(RunStatus::Paused);
+            }
             self.step();
             if self.now > limit {
+                self.run_active = false;
                 return Err(RunError::CycleLimit { limit });
             }
             if self.now & check_mask == 0 {
                 let committed = self.total_committed;
-                if committed == last_progress_commits {
-                    if self.now - last_progress_cycle > self.watchdog_window {
+                if committed == self.wd_last_commits {
+                    if self.now - self.wd_last_cycle > self.watchdog_window {
+                        self.run_active = false;
                         return Err(RunError::Stalled {
                             cycle: self.now,
                             snapshot: Box::new(self.stall_snapshot()),
                         });
                     }
                 } else {
-                    last_progress_commits = committed;
-                    last_progress_cycle = self.now;
+                    self.wd_last_commits = committed;
+                    self.wd_last_cycle = self.now;
                 }
             }
 
@@ -451,8 +518,8 @@ impl<S: TraceSink> MultiCore<S> {
                 continue;
             }
             let committed = self.total_committed;
-            let progressed = committed != prev_committed;
-            prev_committed = committed;
+            let progressed = committed != self.skip_prev_committed;
+            self.skip_prev_committed = committed;
             if progressed {
                 continue; // chip is visibly busy; don't bother scanning
             }
@@ -472,6 +539,15 @@ impl<S: TraceSink> MultiCore<S> {
                 jump_to = limit + 1;
                 outcome = Some(RunError::CycleLimit { limit });
             }
+            if stop_at < jump_to {
+                // Never jump past the slice boundary. The pause lands
+                // mid-quiet-window; the remaining span is re-derived on
+                // resume (dense steps of quiet cycles equal the
+                // fast-forward, so the split is invisible). Any limit
+                // outcome lies past the boundary too.
+                jump_to = stop_at;
+                outcome = None;
+            }
             // Replay the watchdog checks the dense loop would run inside
             // the window, at the same mask cadence. Commit counts are
             // frozen across the window, so the dense sequence collapses
@@ -479,21 +555,22 @@ impl<S: TraceSink> MultiCore<S> {
             // was progress since the last check), then a stall at the
             // first check cycle more than a window past the last
             // progress point.
-            if committed != last_progress_commits {
+            if committed != self.wd_last_commits {
                 let c0 = next_check(self.now + 1);
                 if c0 <= jump_to {
-                    last_progress_commits = committed;
-                    last_progress_cycle = c0;
+                    self.wd_last_commits = committed;
+                    self.wd_last_cycle = c0;
                 }
             }
-            if committed == last_progress_commits {
+            if committed == self.wd_last_commits {
                 let stall_at =
-                    next_check((last_progress_cycle + self.watchdog_window + 1).max(self.now + 1));
+                    next_check((self.wd_last_cycle + self.watchdog_window + 1).max(self.now + 1));
                 // The dense loop checks the limit before the watchdog,
                 // so a stall can only be declared at cycles <= limit.
                 if stall_at <= jump_to.min(limit) {
                     // The stall fires before the limit or the next event.
                     self.fast_forward(stall_at - self.now);
+                    self.run_active = false;
                     return Err(RunError::Stalled {
                         cycle: self.now,
                         snapshot: Box::new(self.stall_snapshot()),
@@ -504,10 +581,12 @@ impl<S: TraceSink> MultiCore<S> {
                 self.fast_forward(jump_to - self.now);
             }
             if let Some(err) = outcome {
+                self.run_active = false;
                 return Err(err);
             }
         }
-        Ok(self.result())
+        self.run_active = false;
+        Ok(RunStatus::Done(self.result()))
     }
 
     /// The earliest cycle `>= now + 1` at which any core or the memory
@@ -824,4 +903,217 @@ impl<S: TraceSink> MultiCore<S> {
     pub fn now(&self) -> Cycle {
         self.now
     }
+
+    /// Hash of everything a checkpoint does *not* serialize: the chip
+    /// configuration, thread count and placement, program shapes and
+    /// the ROI window. Restoring into a chip whose fingerprint differs
+    /// is refused — the snapshot's mutable state would be meaningless.
+    fn structural_fingerprint(&self) -> u64 {
+        let placements: Vec<(usize, usize, Option<u64>, Option<u64>)> = self
+            .threads
+            .iter()
+            .map(|t| (t.core, t.slot, t.program.warmup(), t.program.budget()))
+            .collect();
+        let desc = format!(
+            "{:?}|{}|{}|{:?}|{:?}",
+            self.chip,
+            self.threads.len(),
+            self.n_segmented,
+            self.roi_barriers,
+            placements
+        );
+        fnv1a64(desc.as_bytes())
+    }
+}
+
+impl<S: TraceSink + SnapshotSink> MultiCore<S> {
+    /// Serialize the complete mutable simulation state — every core's
+    /// pipeline and scheduler, the memory hierarchy, thread programs,
+    /// synchronization state, watchdog baselines and the trace sink —
+    /// such that [`restore_state`](Self::restore_state) into a
+    /// structurally-identical chip continues **bit-identically** to a
+    /// run that was never interrupted (DESIGN.md §12).
+    ///
+    /// Structure (configs, thread placement) is not serialized; the
+    /// caller rebuilds it deterministically and the restore validates
+    /// a structural fingerprint plus per-section invariants.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.marker(b"TLPS");
+        w.u64(SNAP_VERSION);
+        w.u64(self.structural_fingerprint());
+        w.u64(self.now);
+        w.usize(self.runnable);
+        w.u64(self.total_committed);
+        w.u64(self.watchdog_window);
+        w.bool(self.recording);
+        w.bool(self.run_active);
+        w.u64(self.wd_last_commits);
+        w.u64(self.wd_last_cycle);
+        w.u64(self.skip_prev_committed);
+        // Diagnostic only (excluded from RunResult), but serialized so
+        // skip-ratio reporting stays meaningful across a restore.
+        w.u64(self.skipped_cycles);
+        w.u64(self.skip_windows);
+        w.u64_slice(&self.hist);
+        w.u64_slice(&self.blocked_since);
+        // Hash maps are serialized in sorted key order so identical
+        // states always produce identical bytes.
+        let mut barriers: Vec<(u32, usize)> =
+            self.barriers.iter().map(|(&id, &n)| (id, n)).collect();
+        barriers.sort_unstable();
+        w.usize(barriers.len());
+        for (id, arrived) in barriers {
+            w.u32(id);
+            w.usize(arrived);
+        }
+        let mut locks: Vec<(u32, &LockState)> = self.locks.iter().map(|(&id, l)| (id, l)).collect();
+        locks.sort_unstable_by_key(|&(id, _)| id);
+        w.usize(locks.len());
+        for (id, l) in locks {
+            w.u32(id);
+            w.opt_u64(l.held_by.map(|t| t as u64));
+            w.usize(l.waiters.len());
+            for &t in &l.waiters {
+                w.usize(t);
+            }
+        }
+        for t in &self.threads {
+            t.snap_save(&mut w);
+        }
+        for c in &self.cores {
+            c.snap_save(&mut w);
+        }
+        self.mem.snap_save(&mut w);
+        self.sink.snap_save(&mut w);
+        w.finish()
+    }
+
+    /// Restore state saved by [`save_state`](Self::save_state) into
+    /// this chip. The chip must have been rebuilt structurally first
+    /// (same configuration, same threads pinned to the same contexts,
+    /// same ROI window); anything that disagrees is a typed
+    /// [`SnapError`], never silent corruption. On success the next
+    /// [`run_slice`](Self::run_slice) continues exactly where the
+    /// saved run stopped.
+    ///
+    /// # Errors
+    /// [`SnapError`] on version/fingerprint mismatch, truncation, or
+    /// any structural disagreement; the chip may be partially
+    /// overwritten and must not be used except to retry a restore.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        r.marker(b"TLPS")?;
+        let ver = r.u64()?;
+        snap_ensure(
+            ver == SNAP_VERSION,
+            format!("snapshot format v{ver}, this build reads v{SNAP_VERSION}"),
+        )?;
+        let fp = r.u64()?;
+        snap_ensure(
+            fp == self.structural_fingerprint(),
+            "structural fingerprint mismatch: snapshot was taken of a different \
+             chip/thread configuration",
+        )?;
+        self.now = r.u64()?;
+        self.runnable = r.usize()?;
+        self.total_committed = r.u64()?;
+        self.watchdog_window = r.u64()?.max(1);
+        self.recording = r.bool()?;
+        self.run_active = r.bool()?;
+        self.wd_last_commits = r.u64()?;
+        self.wd_last_cycle = r.u64()?;
+        self.skip_prev_committed = r.u64()?;
+        self.skipped_cycles = r.u64()?;
+        self.skip_windows = r.u64()?;
+        let hist = r.u64_vec()?;
+        snap_ensure(
+            hist.len() == self.threads.len() + 1 || hist.is_empty(),
+            format!(
+                "histogram has {} bins for {} threads",
+                hist.len(),
+                self.threads.len()
+            ),
+        )?;
+        self.hist = hist;
+        let blocked_since = r.u64_vec()?;
+        snap_ensure(
+            blocked_since.len() == self.threads.len(),
+            format!("blocked_since has {} entries", blocked_since.len()),
+        )?;
+        self.blocked_since = blocked_since;
+        let nthreads = self.threads.len();
+        let nbar = r.bounded_len()?;
+        self.barriers.clear();
+        for _ in 0..nbar {
+            let id = r.u32()?;
+            let arrived = r.usize()?;
+            snap_ensure(
+                arrived <= self.n_segmented,
+                format!(
+                    "barrier {id} arrival count {arrived} > {}",
+                    self.n_segmented
+                ),
+            )?;
+            self.barriers.insert(id, arrived);
+        }
+        let nlocks = r.bounded_len()?;
+        self.locks.clear();
+        for _ in 0..nlocks {
+            let id = r.u32()?;
+            let held_by = match r.opt_u64()? {
+                Some(t) => {
+                    let t = usize::try_from(t)
+                        .map_err(|_| tlpsim_mem::snap_mismatch("lock holder id overflow"))?;
+                    snap_ensure(t < nthreads, format!("lock {id} held by thread {t}"))?;
+                    Some(t)
+                }
+                None => None,
+            };
+            let nwait = r.bounded_len()?;
+            let mut waiters = std::collections::VecDeque::with_capacity(nwait);
+            for _ in 0..nwait {
+                let t = r.usize()?;
+                snap_ensure(t < nthreads, format!("lock {id} waiter thread {t}"))?;
+                waiters.push_back(t);
+            }
+            self.locks.insert(id, LockState { held_by, waiters });
+        }
+        for t in self.threads.iter_mut() {
+            t.snap_restore(&mut r)?;
+        }
+        snap_ensure(
+            self.runnable
+                == self
+                    .threads
+                    .iter()
+                    .filter(|t| t.state == ProgramState::Runnable)
+                    .count(),
+            "runnable count disagrees with restored thread states",
+        )?;
+        for c in self.cores.iter_mut() {
+            c.snap_restore(&mut r, nthreads)?;
+        }
+        self.mem.snap_restore(&mut r)?;
+        self.sink.snap_restore(&mut r)?;
+        r.expect_end()?;
+        // Rebuilt caches and scratch: drained-event buffers are empty
+        // at every step boundary, and the cached memory next-event
+        // describes pre-restore state.
+        self.events.clear();
+        self.events_scratch.clear();
+        self.mem_ev_cache = 0;
+        self.mem_ev_version = u64::MAX;
+        Ok(())
+    }
+}
+
+/// FNV-1a over a byte string (fingerprints only — not a wire format).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }

@@ -47,14 +47,17 @@ mod config;
 mod core_model;
 mod engine;
 mod program;
+mod snapio;
 mod stats;
 
 pub use config::{ChipConfig, CoreClass, CoreConfig, FetchPolicy, FuConfig, RobSharing};
 pub use core_model::CoreModel;
 pub use engine::{
-    ContextSnapshot, LockSnapshot, MultiCore, RunError, StallSnapshot, DEFAULT_WATCHDOG_CYCLES,
+    ContextSnapshot, LockSnapshot, MultiCore, RunError, RunStatus, StallSnapshot,
+    DEFAULT_WATCHDOG_CYCLES,
 };
 pub use program::{ProgramState, ThreadProgram};
+pub use snapio::SnapshotSink;
 pub use stats::{CoreStats, RunResult, ThreadStats};
 
 /// Identifies a software thread within one simulation.

@@ -199,6 +199,97 @@ impl ThreadProgram {
             *lock_granted = true;
         }
     }
+
+    /// Serialize the program's mutable state: the stream cursor plus
+    /// the segment position. Budgets and the segment list itself are
+    /// structural (deterministic from the cell) and only validated.
+    pub(crate) fn snap_save(&self, w: &mut tlpsim_mem::SnapWriter) {
+        w.marker(b"PROG");
+        self.stream.snap_save(w);
+        match &self.kind {
+            ProgramKind::Multiprogram { warmup, budget } => {
+                w.u8(0);
+                w.u64(*warmup);
+                w.u64(*budget);
+            }
+            ProgramKind::Segmented {
+                segments,
+                pos,
+                remaining,
+                holding_lock,
+                lock_granted,
+            } => {
+                w.u8(1);
+                w.usize(segments.len());
+                w.usize(*pos);
+                w.u64(*remaining);
+                match holding_lock {
+                    Some(id) => {
+                        w.bool(true);
+                        w.u32(*id);
+                    }
+                    None => {
+                        w.bool(false);
+                        w.u32(0);
+                    }
+                }
+                w.bool(*lock_granted);
+            }
+        }
+    }
+
+    /// Restore state saved by [`snap_save`](Self::snap_save).
+    pub(crate) fn snap_restore(
+        &mut self,
+        r: &mut tlpsim_mem::SnapReader<'_>,
+    ) -> Result<(), tlpsim_mem::SnapError> {
+        use tlpsim_mem::{snap_ensure, snap_mismatch};
+        r.marker(b"PROG")?;
+        self.stream.snap_restore(r)?;
+        let tag = r.u8()?;
+        match (&mut self.kind, tag) {
+            (ProgramKind::Multiprogram { warmup, budget }, 0) => {
+                let sw = r.u64()?;
+                let sb = r.u64()?;
+                snap_ensure(
+                    sw == *warmup && sb == *budget,
+                    format!(
+                        "multiprogram warmup/budget: structure {warmup}/{budget}, \
+                         snapshot {sw}/{sb}"
+                    ),
+                )?;
+            }
+            (
+                ProgramKind::Segmented {
+                    segments,
+                    pos,
+                    remaining,
+                    holding_lock,
+                    lock_granted,
+                },
+                1,
+            ) => {
+                let nseg = r.usize()?;
+                snap_ensure(
+                    nseg == segments.len(),
+                    format!("program has {} segments, snapshot {nseg}", segments.len()),
+                )?;
+                let p = r.usize()?;
+                snap_ensure(
+                    p <= segments.len(),
+                    format!("segment position {p} past {} segments", segments.len()),
+                )?;
+                *pos = p;
+                *remaining = r.u64()?;
+                let held = r.bool()?;
+                let id = r.u32()?;
+                *holding_lock = held.then_some(id);
+                *lock_granted = r.bool()?;
+            }
+            _ => return Err(snap_mismatch(format!("program kind tag {tag}"))),
+        }
+        Ok(())
+    }
 }
 
 /// Per-thread dependence-tracking ring: done-times of the last
@@ -250,5 +341,68 @@ impl ThreadCtl {
             next_seq: 0,
             done_ring: vec![0; RING],
         }
+    }
+
+    /// Serialize everything mutable about this thread, including the
+    /// pipeline state that survives context switches. The (core, slot)
+    /// pin is structural and only validated on restore.
+    pub(crate) fn snap_save(&self, w: &mut tlpsim_mem::SnapWriter) {
+        w.marker(b"THRD");
+        self.program.snap_save(w);
+        crate::snapio::save_pstate(self.state, w);
+        w.u64(self.committed);
+        w.opt_u64(self.start_cycle);
+        w.opt_u64(self.finish_cycle);
+        w.u64(self.blocked_cycles);
+        w.usize(self.core);
+        w.usize(self.slot);
+        match &self.staged {
+            Some(i) => {
+                w.bool(true);
+                crate::snapio::save_instr(i, w);
+            }
+            None => w.bool(false),
+        }
+        w.opt_u64(self.last_fetch_line.map(|l| l.0));
+        w.u64(self.next_seq);
+        w.u64_slice(&self.done_ring);
+    }
+
+    /// Restore state saved by [`snap_save`](Self::snap_save).
+    pub(crate) fn snap_restore(
+        &mut self,
+        r: &mut tlpsim_mem::SnapReader<'_>,
+    ) -> Result<(), tlpsim_mem::SnapError> {
+        use tlpsim_mem::snap_ensure;
+        r.marker(b"THRD")?;
+        self.program.snap_restore(r)?;
+        self.state = crate::snapio::load_pstate(r)?;
+        self.committed = r.u64()?;
+        self.start_cycle = r.opt_u64()?;
+        self.finish_cycle = r.opt_u64()?;
+        self.blocked_cycles = r.u64()?;
+        let core = r.usize()?;
+        let slot = r.usize()?;
+        snap_ensure(
+            core == self.core && slot == self.slot,
+            format!(
+                "thread pinned to core {}.{}, snapshot says {core}.{slot}",
+                self.core, self.slot
+            ),
+        )?;
+        self.staged = if r.bool()? {
+            Some(crate::snapio::load_instr(r)?)
+        } else {
+            None
+        };
+        self.last_fetch_line = r.opt_u64()?.map(tlpsim_mem::LineAddr);
+        self.next_seq = r.u64()?;
+        let ring = r.u64_vec()?;
+        snap_ensure(
+            ring.len() == RING,
+            format!("done ring has {} entries, expected {RING}", ring.len()),
+        )?;
+        self.done_ring = ring;
+        Ok(())
     }
 }

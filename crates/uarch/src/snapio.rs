@@ -1,0 +1,219 @@
+//! Snapshot plumbing shared across the crate (DESIGN.md §12): wire
+//! helpers for the enums serialized by several modules, and the
+//! [`SnapshotSink`] trait that lets trace sinks participate in
+//! checkpoint/restore.
+
+use tlpsim_mem::{snap_ensure, snap_mismatch, Addr, SnapError, SnapReader, SnapWriter};
+use tlpsim_trace::{CpiComponent, CpiStacks, NopSink, Tracer, N_COMPONENTS};
+use tlpsim_workloads::{Instr, InstrKind};
+
+use crate::program::ProgramState;
+
+/// Stable one-byte tag for an [`InstrKind`] (the declaration order is
+/// frozen — it also indexes [`crate::CoreStats::committed`]).
+pub(crate) fn kind_tag(k: InstrKind) -> u8 {
+    match k {
+        InstrKind::IntAlu => 0,
+        InstrKind::IntMul => 1,
+        InstrKind::IntDiv => 2,
+        InstrKind::FpAlu => 3,
+        InstrKind::Load => 4,
+        InstrKind::Store => 5,
+        InstrKind::Branch => 6,
+    }
+}
+
+/// Inverse of [`kind_tag`].
+pub(crate) fn kind_from_tag(t: u8) -> Result<InstrKind, SnapError> {
+    Ok(match t {
+        0 => InstrKind::IntAlu,
+        1 => InstrKind::IntMul,
+        2 => InstrKind::IntDiv,
+        3 => InstrKind::FpAlu,
+        4 => InstrKind::Load,
+        5 => InstrKind::Store,
+        6 => InstrKind::Branch,
+        _ => return Err(snap_mismatch(format!("instruction kind tag {t}"))),
+    })
+}
+
+/// Encode a [`ProgramState`] as tag byte + (possibly unused) id.
+pub(crate) fn save_pstate(st: ProgramState, w: &mut SnapWriter) {
+    let (tag, id) = match st {
+        ProgramState::Runnable => (0u8, 0u32),
+        ProgramState::AtBarrier(id) => (1, id),
+        ProgramState::WaitingLock(id) => (2, id),
+        ProgramState::Finished => (3, 0),
+    };
+    w.u8(tag);
+    w.u32(id);
+}
+
+/// Inverse of [`save_pstate`].
+pub(crate) fn load_pstate(r: &mut SnapReader<'_>) -> Result<ProgramState, SnapError> {
+    let tag = r.u8()?;
+    let id = r.u32()?;
+    Ok(match tag {
+        0 => ProgramState::Runnable,
+        1 => ProgramState::AtBarrier(id),
+        2 => ProgramState::WaitingLock(id),
+        3 => ProgramState::Finished,
+        _ => return Err(snap_mismatch(format!("program state tag {tag}"))),
+    })
+}
+
+/// Serialize one dynamic instruction verbatim.
+pub(crate) fn save_instr(i: &Instr, w: &mut SnapWriter) {
+    w.u8(kind_tag(i.kind));
+    w.u16(i.src1_dist);
+    w.u16(i.src2_dist);
+    w.u64(i.addr.0);
+    w.u64(i.fetch_addr.0);
+    w.bool(i.mispredicted);
+}
+
+/// Inverse of [`save_instr`].
+pub(crate) fn load_instr(r: &mut SnapReader<'_>) -> Result<Instr, SnapError> {
+    Ok(Instr {
+        kind: kind_from_tag(r.u8()?)?,
+        src1_dist: r.u16()?,
+        src2_dist: r.u16()?,
+        addr: Addr(r.u64()?),
+        fetch_addr: Addr(r.u64()?),
+        mispredicted: r.bool()?,
+    })
+}
+
+/// Trace sinks that can participate in checkpoint/restore.
+///
+/// [`MultiCore::save_state`](crate::MultiCore::save_state) serializes
+/// the sink's accumulated state alongside the pipeline and memory
+/// state, so a restored instrumented run continues its CPI accounting
+/// exactly where the saved run stopped. Implemented for the bundled
+/// sinks: [`NopSink`] (nothing to save), [`CpiStacks`] (full stacks),
+/// and [`Tracer`] (stacks only — the event ring is a bounded
+/// overwrite-oldest *diagnostic*, not part of the result surface, so a
+/// restored ring simply restarts empty).
+pub trait SnapshotSink {
+    /// Serialize the sink's accumulated state.
+    fn snap_save(&self, w: &mut SnapWriter);
+    /// Restore state saved by [`snap_save`](Self::snap_save).
+    ///
+    /// # Errors
+    /// [`SnapError`] on truncation or structural mismatch.
+    fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError>;
+}
+
+impl SnapshotSink for NopSink {
+    fn snap_save(&self, _w: &mut SnapWriter) {}
+    fn snap_restore(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
+}
+
+fn save_stacks(s: &CpiStacks, w: &mut SnapWriter) {
+    w.marker(b"CPIS");
+    w.usize(s.len());
+    for (&(core, slot), comps) in s.iter() {
+        w.usize(core);
+        w.usize(slot);
+        w.u64_slice(comps);
+    }
+}
+
+fn restore_stacks(s: &mut CpiStacks, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+    r.marker(b"CPIS")?;
+    let n = r.bounded_len()?;
+    let mut fresh = CpiStacks::new();
+    for _ in 0..n {
+        let core = r.usize()?;
+        let slot = r.usize()?;
+        let comps = r.u64_vec()?;
+        snap_ensure(
+            comps.len() == N_COMPONENTS,
+            format!(
+                "cpi stack has {} components, expected {N_COMPONENTS}",
+                comps.len()
+            ),
+        )?;
+        for (i, &v) in comps.iter().enumerate() {
+            // Adding 0 still creates the entry, reproducing contexts
+            // that were touched but never accumulated that component.
+            fresh.add(core, slot, CpiComponent::ALL[i], v);
+        }
+    }
+    *s = fresh;
+    Ok(())
+}
+
+impl SnapshotSink for CpiStacks {
+    fn snap_save(&self, w: &mut SnapWriter) {
+        save_stacks(self, w);
+    }
+    fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        restore_stacks(self, r)
+    }
+}
+
+impl SnapshotSink for Tracer {
+    fn snap_save(&self, w: &mut SnapWriter) {
+        save_stacks(&self.stacks, w);
+    }
+    fn snap_restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        restore_stacks(&mut self.stacks, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_tags_round_trip() {
+        for k in [
+            InstrKind::IntAlu,
+            InstrKind::IntMul,
+            InstrKind::IntDiv,
+            InstrKind::FpAlu,
+            InstrKind::Load,
+            InstrKind::Store,
+            InstrKind::Branch,
+        ] {
+            assert_eq!(kind_from_tag(kind_tag(k)).unwrap(), k);
+        }
+        assert!(kind_from_tag(7).is_err());
+    }
+
+    #[test]
+    fn pstate_round_trip() {
+        for st in [
+            ProgramState::Runnable,
+            ProgramState::AtBarrier(3),
+            ProgramState::WaitingLock(99),
+            ProgramState::Finished,
+        ] {
+            let mut w = SnapWriter::new();
+            save_pstate(st, &mut w);
+            let bytes = w.finish();
+            let mut r = SnapReader::new(&bytes);
+            assert_eq!(load_pstate(&mut r).unwrap(), st);
+            r.expect_end().unwrap();
+        }
+    }
+
+    #[test]
+    fn cpi_stacks_round_trip_including_zero_entries() {
+        let mut s = CpiStacks::new();
+        s.add(0, 1, CpiComponent::Dram, 17);
+        s.add(2, 0, CpiComponent::Base, 0); // touched, all-zero entry
+        let mut w = SnapWriter::new();
+        s.snap_save(&mut w);
+        let bytes = w.finish();
+        let mut restored = CpiStacks::new();
+        restored.add(9, 9, CpiComponent::Idle, 5); // must be wiped
+        let mut r = SnapReader::new(&bytes);
+        restored.snap_restore(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(restored, s);
+    }
+}

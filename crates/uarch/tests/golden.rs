@@ -37,8 +37,21 @@ fn print_mode() -> bool {
     std::env::var("TLPSIM_PRINT_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
+/// FNV-1a over a string, used to derive a per-config pause cycle.
+fn fnv_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Run `mk` with both engines, assert they agree, then check (or
-/// print) the digest of the common result.
+/// print) the digest of the common result. Also kills the fast run at
+/// a config-derived interior cycle, restores a freshly built sim from
+/// the checkpoint, and requires the resumed run to land on the *same
+/// golden digest* — checkpoint/restore must not perturb behavior.
 fn check(name: &str, expected: u64, mk: impl Fn() -> MultiCore) {
     let mut fast = mk();
     fast.set_cycle_skipping(true);
@@ -47,6 +60,25 @@ fn check(name: &str, expected: u64, mk: impl Fn() -> MultiCore) {
     dense.set_cycle_skipping(false);
     let rd = dense.run().expect("dense run completes");
     assert_eq!(rf, rd, "engines diverged on golden config {name}");
+
+    let pause = 1 + fnv_str(name) % rd.cycles;
+    let mut victim = mk();
+    victim.set_cycle_skipping(true);
+    match victim.run_slice(1 << 40, pause) {
+        Ok(tlpsim_uarch::RunStatus::Paused) => {}
+        other => panic!("{name}: expected pause at {pause}, got {other:?}"),
+    }
+    let bytes = victim.save_state();
+    drop(victim);
+    let mut resumed = mk();
+    resumed.set_cycle_skipping(true);
+    resumed.restore_state(&bytes).expect("restore");
+    let rr = resumed.run().expect("resumed run completes");
+    assert_eq!(
+        rr, rd,
+        "restore at cycle {pause} diverged on golden config {name}"
+    );
+
     let d = digest(&rd);
     if print_mode() {
         println!("golden {name}: 0x{d:016x}");

@@ -1,0 +1,269 @@
+//! Checkpoint/restore bit-identity harness (DESIGN.md §12): pausing a
+//! run at an arbitrary cycle with [`MultiCore::run_slice`], serializing
+//! the engine with [`MultiCore::save_state`], rebuilding the simulation
+//! structurally from scratch, restoring, and running to completion must
+//! produce a [`RunResult`] **bit-identical** to the uninterrupted run —
+//! in dense and fast-forward modes, with and without SMT, for
+//! multiprogram and barrier/lock-synchronized workloads, and for
+//! instrumented (CPI-stack) runs.
+//!
+//! Restores into a *differently shaped* simulation must be rejected,
+//! never silently accepted.
+
+use tlpsim_uarch::{
+    ChipConfig, CoreConfig, CpiStacks, Cycle, MultiCore, RunResult, RunStatus, SnapshotSink,
+    ThreadProgram, TraceSink,
+};
+use tlpsim_workloads::{parsec, spec, InstrStream, Segment, SplitMix64};
+
+/// Run to completion without ever pausing.
+fn run_plain<S: TraceSink + SnapshotSink>(mk: impl Fn() -> MultiCore<S>) -> (RunResult, S) {
+    let mut sim = mk();
+    let r = sim.run().expect("uninterrupted run completes");
+    (r, sim.into_sink())
+}
+
+/// Pause at `pause_at`, checkpoint, drop the simulation (simulating a
+/// process death), rebuild structurally, restore, and finish.
+fn run_restored<S: TraceSink + SnapshotSink>(
+    mk: impl Fn() -> MultiCore<S>,
+    pause_at: Cycle,
+) -> (RunResult, S) {
+    let mut sim = mk();
+    match sim
+        .run_slice(1 << 40, pause_at)
+        .expect("slice must not fail")
+    {
+        RunStatus::Done(r) => (r, sim.into_sink()), // finished before the pause point
+        RunStatus::Paused => {
+            let bytes = sim.save_state();
+            drop(sim); // the "crash": all in-memory state is gone
+            let mut fresh = mk();
+            fresh
+                .restore_state(&bytes)
+                .expect("restore into identical structure");
+            let r = fresh.run().expect("resumed run completes");
+            (r, fresh.into_sink())
+        }
+    }
+}
+
+/// Run uninterrupted once, then assert that restoring at pause cycles
+/// spread across the run reproduces that result exactly. Pause points:
+/// early (mid-warmup), midpoint, just before the end, plus two
+/// pseudo-random interior cycles (which also land inside fast-forward
+/// windows when skipping is on).
+fn check_restores<S: TraceSink + SnapshotSink + PartialEq + std::fmt::Debug>(
+    mk: impl Fn() -> MultiCore<S>,
+    seed: u64,
+) -> RunResult {
+    let (reference, ref_sink) = run_plain(&mk);
+    let total = reference.cycles;
+    let mut rng = SplitMix64::new(seed);
+    let mut pauses = vec![1, total / 2, total.saturating_sub(1)];
+    for _ in 0..2 {
+        pauses.push(1 + rng.next_u64() % total.max(2));
+    }
+    for p in pauses {
+        let (restored, sink) = run_restored(&mk, p);
+        assert_eq!(restored, reference, "restore at cycle {p} diverged");
+        assert_eq!(sink, ref_sink, "restored sink state at cycle {p} diverged");
+    }
+    reference
+}
+
+fn multiprogram_mix(chip: &ChipConfig, skip: bool) -> MultiCore {
+    let mut sim = MultiCore::new(chip);
+    sim.set_cycle_skipping(skip);
+    let profiles = [
+        spec::mcf_like(),
+        spec::hmmer_like(),
+        spec::libquantum_like(),
+        spec::gamess_like(),
+    ];
+    let slots = chip.cores[0].smt_contexts as usize;
+    for (i, p) in profiles.iter().enumerate() {
+        let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+            InstrStream::new(p, i as u64, 42),
+            1_000,
+            6_000,
+        ));
+        sim.pin(t, i % 2, if slots > 1 { (i / 2) % slots } else { 0 });
+    }
+    sim.prewarm();
+    sim
+}
+
+#[test]
+fn smt_dense_multiprogram_restore_bit_identical() {
+    let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66);
+    check_restores(|| multiprogram_mix(&chip, false), 7);
+}
+
+#[test]
+fn smt_fast_forward_multiprogram_restore_bit_identical() {
+    let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66);
+    check_restores(|| multiprogram_mix(&chip, true), 11);
+}
+
+#[test]
+fn nosmt_fast_forward_multiprogram_restore_bit_identical() {
+    let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66).without_smt();
+    check_restores(|| multiprogram_mix(&chip, true), 13);
+}
+
+#[test]
+fn small_core_dense_multiprogram_restore_bit_identical() {
+    let chip = ChipConfig::homogeneous(2, CoreConfig::small(), 2.66);
+    check_restores(|| multiprogram_mix(&chip, false), 17);
+}
+
+/// Barrier/lock-synchronized segmented workload (streamcluster-like):
+/// the checkpoint must capture barrier arrival sets, lock queues, ROI
+/// histogram recording state, and blocked-thread bookkeeping.
+fn parsec_sim(chip: &ChipConfig, skip: bool) -> MultiCore {
+    let app = parsec::streamcluster_like();
+    let w = app.instantiate(6, 3_000, 7);
+    let mut sim = MultiCore::new(chip);
+    sim.set_cycle_skipping(skip);
+    let n_cores = chip.cores.len();
+    let max_barrier = w
+        .threads
+        .iter()
+        .flatten()
+        .filter_map(|s| match s {
+            Segment::Barrier { id } => Some(*id),
+            _ => None,
+        })
+        .max()
+        .unwrap();
+    for (i, segs) in w.threads.iter().enumerate() {
+        let stream = InstrStream::new(&w.profile, i as u64, 99).with_shared_region(
+            0x4000_0000_0000,
+            w.shared_bytes,
+            w.shared_frac,
+        );
+        let t = sim.add_thread(ThreadProgram::segmented(stream, segs.clone()));
+        let slots = chip.cores[i % n_cores].smt_contexts as usize;
+        sim.pin(t, i % n_cores, (i / n_cores) % slots);
+    }
+    sim.set_roi_barriers(0, max_barrier);
+    sim.prewarm();
+    sim
+}
+
+#[test]
+fn barrier_parsec_restore_bit_identical() {
+    let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66);
+    let r = check_restores(|| parsec_sim(&chip, true), 23);
+    // Blocked cycles prove the barriers/locks were live across at
+    // least some of the checkpoints exercised above.
+    assert!(r.threads.iter().map(|t| t.blocked_cycles).sum::<u64>() > 0);
+}
+
+#[test]
+fn instrumented_run_restores_cpi_stacks() {
+    let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66);
+    let mk = || {
+        let mut sim = MultiCore::with_sink(&chip, CpiStacks::new());
+        sim.set_cycle_skipping(true);
+        for (i, p) in [spec::mcf_like(), spec::gcc_like()].iter().enumerate() {
+            let t = sim.add_thread(ThreadProgram::multiprogram_with_warmup(
+                InstrStream::new(p, i as u64, 5),
+                500,
+                4_000,
+            ));
+            sim.pin(t, i % 2, 0);
+        }
+        sim.prewarm();
+        sim
+    };
+    check_restores(mk, 29);
+    let (_, stacks) = run_plain(mk);
+    assert!(!stacks.is_empty(), "instrumented run must populate stacks");
+}
+
+/// Repeated pause/resume in-process (no serialization) must also be
+/// invisible: `run_slice` in many short slices equals one long run.
+#[test]
+fn many_short_slices_equal_one_run() {
+    let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66);
+    let (reference, _) = run_plain(|| multiprogram_mix(&chip, true));
+    let mut sim = multiprogram_mix(&chip, true);
+    let mut stop = 0;
+    let sliced = loop {
+        stop += 97; // deliberately not a power of two
+        match sim.run_slice(1 << 40, stop).expect("slice must not fail") {
+            RunStatus::Done(r) => break r,
+            RunStatus::Paused => continue,
+        }
+    };
+    assert_eq!(sliced, reference, "sliced run diverged from unsliced");
+}
+
+/// Checkpoint bytes carried across *every* slice boundary: serialize
+/// and restore into a fresh simulation at each pause, chaining
+/// restores. This is the worst case for state leakage between the
+/// serialized surface and anything rebuilt structurally.
+#[test]
+fn chained_restores_bit_identical() {
+    let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66);
+    let mk = || multiprogram_mix(&chip, true);
+    let (reference, _) = run_plain(mk);
+    let mut sim = mk();
+    let mut stop = 0;
+    let chained = loop {
+        stop += 1_013;
+        match sim.run_slice(1 << 40, stop).expect("slice must not fail") {
+            RunStatus::Done(r) => break r,
+            RunStatus::Paused => {
+                let bytes = sim.save_state();
+                sim = mk();
+                sim.restore_state(&bytes).expect("chained restore");
+            }
+        }
+    };
+    assert_eq!(chained, reference, "chained restore run diverged");
+}
+
+#[test]
+fn restore_rejects_different_structure() {
+    let chip = ChipConfig::homogeneous(2, CoreConfig::big(), 2.66);
+    let mut sim = multiprogram_mix(&chip, true);
+    assert!(matches!(
+        sim.run_slice(1 << 40, 500).expect("slice"),
+        RunStatus::Paused
+    ));
+    let bytes = sim.save_state();
+
+    // Different core class → different structural fingerprint.
+    let other_chip = ChipConfig::homogeneous(2, CoreConfig::medium(), 2.66);
+    let mut wrong = multiprogram_mix(&other_chip, true);
+    assert!(
+        wrong.restore_state(&bytes).is_err(),
+        "core class mismatch accepted"
+    );
+
+    // Different thread placement → rejected.
+    let mut moved = multiprogram_mix(&chip, true);
+    moved.pin(0, 1, 1);
+    assert!(
+        moved.restore_state(&bytes).is_err(),
+        "placement mismatch accepted"
+    );
+
+    // Same structure but truncated payload → rejected at every length.
+    let mut ok = multiprogram_mix(&chip, true);
+    for cut in [0, 1, 7, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            ok.restore_state(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes accepted"
+        );
+    }
+    // The untruncated restore still works after the failed attempts.
+    ok = multiprogram_mix(&chip, true);
+    ok.restore_state(&bytes).expect("intact restore");
+    let resumed = ok.run().expect("resumed run completes");
+    let (reference, _) = run_plain(|| multiprogram_mix(&chip, true));
+    assert_eq!(resumed, reference);
+}

@@ -152,6 +152,50 @@ fn stall_cycle_respects_check_cadence() {
     }
 }
 
+/// Checkpoint/restore must re-arm the watchdog exactly: the progress
+/// baselines (`last commits` / `last progress cycle`) travel inside the
+/// snapshot and the check cadence is re-derived from the restored
+/// window, so a run restored mid-starvation declares the stall at the
+/// *same cycle* with the *same snapshot* as the uninterrupted run —
+/// the restore neither resets the no-progress clock (which would delay
+/// detection) nor forgets pre-checkpoint progress (which would
+/// false-positive).
+#[test]
+fn watchdog_rearms_across_restore() {
+    use tlpsim_uarch::RunStatus;
+    let window = 20_000u64;
+    let mk = |skip: bool| {
+        let mut sim = stalled_sim();
+        sim.set_cycle_skipping(skip);
+        sim.set_watchdog(window);
+        sim
+    };
+    for skip in [false, true] {
+        let reference = mk(skip).run().expect_err("starved barrier must stall");
+        let stall_cycle = match &reference {
+            RunError::Stalled { cycle, .. } => *cycle,
+            other => panic!("expected Stalled, got {other:?}"),
+        };
+        // Pause both while threads still commit and deep into the
+        // no-progress stretch (past half the window).
+        for pause in [500, stall_cycle - window / 2] {
+            let mut sim = mk(skip);
+            match sim.run_slice(1 << 40, pause) {
+                Ok(RunStatus::Paused) => {}
+                other => panic!("expected pause at {pause}, got {other:?}"),
+            }
+            let bytes = sim.save_state();
+            let mut restored = mk(skip);
+            restored.restore_state(&bytes).expect("restore");
+            let e = restored.run().expect_err("restored run must still stall");
+            assert_eq!(
+                e, reference,
+                "restore at {pause} (skip={skip}) changed the stall verdict"
+            );
+        }
+    }
+}
+
 /// A cycle limit hit inside a skipped window must report the same
 /// `CycleLimit` error as the dense stepper, at the same final cycle.
 #[test]

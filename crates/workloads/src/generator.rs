@@ -84,6 +84,36 @@ impl InstrStream {
         self.seq
     }
 
+    /// Serialize the stream's mutable cursor (RNG state, streaming
+    /// pointer, PC, dynamic instruction count). The profile, address
+    /// bases and shared-region setup are structural — deterministic
+    /// from the cell construction — and are not serialized; a restored
+    /// stream continues producing the exact instruction sequence the
+    /// saved one would have.
+    pub fn snap_save(&self, w: &mut tlpsim_mem::SnapWriter) {
+        w.marker(b"STRM");
+        w.u64(self.rng.raw_state());
+        w.u64(self.stream_pos);
+        w.u64(self.pc);
+        w.u64(self.seq);
+    }
+
+    /// Restore the cursor saved by [`snap_save`](Self::snap_save).
+    ///
+    /// # Errors
+    /// [`tlpsim_mem::SnapError`] on truncation or marker mismatch.
+    pub fn snap_restore(
+        &mut self,
+        r: &mut tlpsim_mem::SnapReader<'_>,
+    ) -> Result<(), tlpsim_mem::SnapError> {
+        r.marker(b"STRM")?;
+        self.rng = SplitMix64::from_raw_state(r.u64()?);
+        self.stream_pos = r.u64()?;
+        self.pc = r.u64()?;
+        self.seq = r.u64()?;
+        Ok(())
+    }
+
     fn draw_kind(&mut self) -> InstrKind {
         let m = &self.profile.mix;
         let x = self.rng.next_f64();
@@ -342,6 +372,32 @@ mod tests {
         }
         let frac = in_hot as f64 / mem as f64;
         assert!((frac - 0.97).abs() < 0.02, "hot frac {frac}");
+    }
+
+    #[test]
+    fn snapshot_round_trip_continues_the_stream() {
+        let p = profile();
+        let mut a = InstrStream::new(&p, 0, 9).with_shared_region(0x4000_0000_0000, 1 << 20, 0.3);
+        for _ in 0..12_345 {
+            a.next().unwrap();
+        }
+        let mut w = tlpsim_mem::SnapWriter::new();
+        a.snap_save(&mut w);
+        let bytes = w.finish();
+        // Restore into a structurally-identical but freshly built stream.
+        let mut b = InstrStream::new(&p, 0, 9).with_shared_region(0x4000_0000_0000, 1 << 20, 0.3);
+        let mut r = tlpsim_mem::SnapReader::new(&bytes);
+        b.snap_restore(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(b.generated(), a.generated());
+        for i in 0..10_000u64 {
+            assert_eq!(a.next(), b.next(), "instr {i} diverged after restore");
+        }
+        // Truncated snapshots are errors, not panics.
+        let mut c = InstrStream::new(&p, 0, 9);
+        assert!(c
+            .snap_restore(&mut tlpsim_mem::SnapReader::new(&bytes[..bytes.len() - 1]))
+            .is_err());
     }
 
     #[test]

@@ -12,13 +12,18 @@
 //! | code | meaning                                           |
 //! |------|---------------------------------------------------|
 //! | 0    | success                                           |
-//! | 2    | usage error (bad flags/arguments)                 |
+//! | 2    | usage error (bad flags/arguments/environment)     |
 //! | 3    | unknown design, benchmark or application name     |
 //! | 4    | simulation failed (stall, invalid configuration)  |
+//! | 130  | interrupted (SIGINT/SIGTERM); resumable           |
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
 use tlpsim::core::configs;
-use tlpsim::core::ctx::{Ctx, WorkloadKind};
-use tlpsim::core::{SimError, SimScale};
+use tlpsim::core::ctx::{Cell, Ctx, WorkloadKind};
+use tlpsim::core::journal::Journal;
+use tlpsim::core::{executor, interrupt, snapshot, SimError, SimScale, SWEEP_COUNTS};
 use tlpsim::trace::{write_chrome_trace, CpiComponent, TraceConfig, Tracer, DEFAULT_RING_CAP};
 use tlpsim::uarch::{MultiCore, ThreadProgram};
 use tlpsim::workloads::{parsec, spec, InstrStream};
@@ -29,6 +34,9 @@ const EXIT_USAGE: i32 = 2;
 const EXIT_UNKNOWN_NAME: i32 = 3;
 /// The simulation itself failed (watchdog stall, invalid config, ...).
 const EXIT_SIM_FAILED: i32 = 4;
+/// Cut short by SIGINT/SIGTERM after checkpointing; `tlpsim resume`
+/// picks the work back up (128 + SIGINT, the shell convention).
+const EXIT_INTERRUPTED: i32 = 130;
 
 const HELP: &str = "\
 tlpsim — multi-core SMT design-space simulator (ASPLOS 2014 reproduction)
@@ -54,6 +62,20 @@ USAGE:
       output path and ring capacity come from TLPSIM_TRACE (default
       tlpsim-trace.json).
 
+  tlpsim sweep <design> [--no-smt] [--bus16] [--journal <path>]
+      Evaluate <design> at every thread count (1..24) over the 12
+      heterogeneous mixes and print an STP/ANTT/power table. Every
+      completed cell is durably journaled (default
+      tlpsim-sweep.journal) before it counts, so a crash or Ctrl-C
+      loses at most the in-flight cells; an existing journal at the
+      path is overwritten.
+
+  tlpsim resume [<journal>]
+      Continue an interrupted sweep from its journal: replay the
+      completed cells (repairing a torn tail from a crash mid-write),
+      simulate only the missing ones, and print the same table a
+      never-interrupted sweep would have printed.
+
   tlpsim help | --help | -h
       Show this message.
 
@@ -66,23 +88,71 @@ ENVIRONMENT:
                  Chrome trace JSON, and optionally the event-ring
                  capacity (default 65536 events; the ring keeps the
                  newest events once full).
+  TLPSIM_THREADS Host worker threads for sweeps (default: all cores).
+                 Must be a positive integer; anything else is a usage
+                 error.
+  TLPSIM_CKPT_CYCLES
+                 Checkpoint cadence in simulated cycles for sweep
+                 cells. When set, each in-flight cell saves its full
+                 engine state that often (atomic, checksummed files
+                 next to the journal) and an interrupted or killed
+                 sweep resumes mid-cell, bit-identical to an
+                 uninterrupted run. Unset: cells restart from scratch
+                 on resume. Must be a positive integer.
   TLPSIM_WATCHDOG_CYCLES
                  Override the stall watchdog window (simulated cycles,
                  default 3000000). A run that commits nothing for this
                  long aborts with a diagnostic snapshot.
 
 EXIT CODES:
-  0  success
-  2  usage error
-  3  unknown design, benchmark or application name
-  4  simulation failed (stalled run, invalid configuration)
+  0    success
+  2    usage error (bad flags, arguments or environment variables)
+  3    unknown design, benchmark or application name
+  4    simulation failed (stalled run, invalid configuration)
+  130  interrupted by SIGINT/SIGTERM; journal/checkpoints are ready
+       for `tlpsim resume`
 ";
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  tlpsim list\n  tlpsim run <design> <threads> [--no-smt] [--bench <name>] [--bus16]\n  tlpsim app <design> <app> <threads> [--no-smt]\n  tlpsim trace [<design> [<threads>]] [--no-smt]\n  tlpsim --help"
+        "usage:\n  tlpsim list\n  tlpsim run <design> <threads> [--no-smt] [--bench <name>] [--bus16]\n  tlpsim app <design> <app> <threads> [--no-smt]\n  tlpsim trace [<design> [<threads>]] [--no-smt]\n  tlpsim sweep <design> [--no-smt] [--bus16] [--journal <path>]\n  tlpsim resume [<journal>]\n  tlpsim --help"
     );
     std::process::exit(EXIT_USAGE);
+}
+
+/// Validate the tuning environment variables up front (DESIGN.md §12):
+/// a malformed `TLPSIM_THREADS`, `TLPSIM_CKPT_CYCLES` or `TLPSIM_TRACE`
+/// cap is a usage error with a diagnostic naming the value — never a
+/// panic, and never a silent fall-back that leaves a sweep running
+/// with settings the user did not ask for.
+fn validate_env() {
+    if let Err(e) = executor::worker_count(1) {
+        eprintln!("tlpsim: {e}");
+        std::process::exit(EXIT_USAGE);
+    }
+    if let Err(e) = snapshot::interval_from_env() {
+        eprintln!("tlpsim: {e}");
+        std::process::exit(EXIT_USAGE);
+    }
+    if let Ok(v) = std::env::var("TLPSIM_TRACE") {
+        if let Some((path, cap)) = v.rsplit_once(':') {
+            // The library treats a non-numeric suffix as part of the
+            // path (files may contain colons); but a suffix that *looks*
+            // numeric and still fails to parse as a positive count is an
+            // intended cap with a typo — reject it here at the CLI
+            // boundary rather than silently tracing into a file named
+            // "trace.json:0".
+            let looks_numeric = !cap.is_empty()
+                && cap
+                    .chars()
+                    .all(|c| c.is_ascii_digit() || c == '+' || c == '-');
+            let valid = cap.parse::<usize>().map(|n| n > 0).unwrap_or(false);
+            if looks_numeric && !valid && !path.is_empty() {
+                eprintln!("tlpsim: TLPSIM_TRACE cap {cap:?} is not a positive event count");
+                std::process::exit(EXIT_USAGE);
+            }
+        }
+    }
 }
 
 /// Report a simulation failure and exit with the dedicated code.
@@ -91,12 +161,13 @@ fn sim_failed(what: &str, e: SimError) -> ! {
     std::process::exit(EXIT_SIM_FAILED);
 }
 
-/// Build the context: in-memory, or disk-backed when `TLPSIM_CACHE` is
-/// set; watchdog window from `TLPSIM_WATCHDOG_CYCLES` if present.
-fn make_ctx() -> Ctx {
+/// Build a context at `scale`: in-memory, or disk-backed when
+/// `TLPSIM_CACHE` is set; watchdog window from `TLPSIM_WATCHDOG_CYCLES`
+/// if present.
+fn make_ctx_at(scale: SimScale) -> Ctx {
     let ctx = match std::env::var("TLPSIM_CACHE") {
-        Ok(path) if !path.is_empty() => Ctx::with_disk_cache(SimScale::quick(), path),
-        _ => Ctx::new(SimScale::quick()),
+        Ok(path) if !path.is_empty() => Ctx::with_disk_cache(scale, path),
+        _ => Ctx::new(scale),
     };
     match std::env::var("TLPSIM_WATCHDOG_CYCLES") {
         Ok(v) => match v.parse::<u64>() {
@@ -108,6 +179,113 @@ fn make_ctx() -> Ctx {
         },
         Err(_) => ctx,
     }
+}
+
+/// Build the context at the CLI's default scale.
+fn make_ctx() -> Ctx {
+    make_ctx_at(SimScale::quick())
+}
+
+/// The directory a sweep keeps its in-cell checkpoints in, derived from
+/// the journal path so sweep and resume agree without extra flags.
+fn ckpt_dir_for(journal_path: &Path) -> PathBuf {
+    let mut os = journal_path.as_os_str().to_os_string();
+    os.push(".ckpt.d");
+    PathBuf::from(os)
+}
+
+/// Drive a sweep to completion (fresh or resumed): simulate every
+/// thread count not already in `done`, journaling each completed cell
+/// before it counts, and print the result table. Never returns — the
+/// exit code is the whole story (0, 4, or 130).
+fn run_sweep(journal: Journal, done: BTreeMap<usize, Cell>, journal_path: &Path) -> ! {
+    let spec = journal.spec().clone();
+    let Some(design) = configs::by_name(&spec.design) else {
+        // Only reachable on resume: create validated the name already.
+        eprintln!("tlpsim: journal names unknown design {}", spec.design);
+        std::process::exit(EXIT_UNKNOWN_NAME);
+    };
+    let bus_gbps = f64::from(spec.bus_dgbps) / 10.0;
+    let remaining: Vec<usize> = SWEEP_COUNTS
+        .iter()
+        .copied()
+        .filter(|n| !done.contains_key(n))
+        .collect();
+    eprintln!(
+        "tlpsim: sweep {} (SMT={}, {bus_gbps} GB/s): {} cell(s) journaled, {} to simulate",
+        spec.design,
+        spec.smt,
+        done.len(),
+        remaining.len()
+    );
+
+    interrupt::install_handlers();
+    let mut ctx = make_ctx_at(spec.scale);
+    if let Ok(Some(every)) = snapshot::interval_from_env() {
+        ctx = ctx.with_checkpoints(ckpt_dir_for(journal_path), every);
+    }
+
+    let results = executor::par_map_with(
+        &remaining,
+        |&n| {
+            ctx.mp_cell_bus(&design, n, spec.kind, spec.smt, bus_gbps)
+                .map(|c| (*c).clone())
+        },
+        |i, r| {
+            // The write-ahead step: fsync'd into the journal the moment
+            // the cell finishes, before anything else sees it.
+            if let Ok(cell) = r {
+                journal.record(remaining[i], cell);
+            }
+        },
+    );
+
+    let mut merged = done;
+    let mut interrupted = false;
+    let mut failed = 0usize;
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(cell) => {
+                merged.insert(remaining[i], cell);
+            }
+            Err(SimError::Interrupted) => interrupted = true,
+            Err(e) => {
+                failed += 1;
+                eprintln!("tlpsim: cell n={} failed: {e}", remaining[i]);
+            }
+        }
+    }
+
+    // The table is a pure function of the journaled cells, so a resumed
+    // sweep prints byte-identically to a never-interrupted one.
+    println!(
+        "sweep {} heterogeneous SMT={} bus={bus_gbps} GB/s",
+        spec.design, spec.smt
+    );
+    println!("{:>4} {:>10} {:>10} {:>10}", "n", "STP", "ANTT", "power_W");
+    for (n, cell) in &merged {
+        println!(
+            "{n:>4} {:>10.4} {:>10.4} {:>10.2}",
+            cell.mean_stp(),
+            cell.mean_antt(),
+            cell.mean_power()
+        );
+    }
+
+    if interrupted {
+        eprintln!(
+            "tlpsim: interrupted; {} of {} cell(s) journaled. Continue with: tlpsim resume {}",
+            merged.len(),
+            SWEEP_COUNTS.len(),
+            journal_path.display()
+        );
+        std::process::exit(EXIT_INTERRUPTED);
+    }
+    if failed > 0 {
+        eprintln!("tlpsim: sweep finished with {failed} failed cell(s)");
+        std::process::exit(EXIT_SIM_FAILED);
+    }
+    std::process::exit(0);
 }
 
 /// Restore default SIGPIPE behaviour so `tlpsim list | head` exits
@@ -130,6 +308,7 @@ fn reset_sigpipe() {}
 
 fn main() {
     reset_sigpipe();
+    validate_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("help") | Some("--help") | Some("-h") => {
@@ -287,6 +466,62 @@ fn main() {
                 "chrome trace written to {} (load at chrome://tracing or ui.perfetto.dev)",
                 cfg.path
             );
+        }
+        Some("sweep") => {
+            if args.len() < 2 || args[1].starts_with("--") {
+                usage();
+            }
+            let design = configs::by_name(&args[1]).unwrap_or_else(|| {
+                eprintln!("unknown design {}", args[1]);
+                std::process::exit(EXIT_UNKNOWN_NAME)
+            });
+            let smt = !args.iter().any(|a| a == "--no-smt");
+            let bus = if args.iter().any(|a| a == "--bus16") {
+                16.0
+            } else {
+                8.0
+            };
+            let jpath = args
+                .iter()
+                .position(|a| a == "--journal")
+                .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| usage()))
+                .unwrap_or_else(|| "tlpsim-sweep.journal".into());
+            let spec = tlpsim::core::journal::SweepSpec {
+                design: design.name.clone(),
+                kind: WorkloadKind::Heterogeneous,
+                smt,
+                bus_dgbps: (bus * 10.0) as u32,
+                scale: SimScale::quick(),
+            };
+            let journal = Journal::create(Path::new(&jpath), spec).unwrap_or_else(|e| {
+                eprintln!("tlpsim: {e}");
+                std::process::exit(EXIT_SIM_FAILED)
+            });
+            run_sweep(journal, BTreeMap::new(), Path::new(&jpath));
+        }
+        Some("resume") => {
+            let jpath = match args.get(1) {
+                Some(p) if !p.starts_with("--") => p.clone(),
+                Some(_) => usage(),
+                None => "tlpsim-sweep.journal".into(),
+            };
+            let (journal, _spec, done, report) =
+                Journal::open(Path::new(&jpath)).unwrap_or_else(|e| {
+                    eprintln!("tlpsim: cannot resume: {e}");
+                    std::process::exit(EXIT_SIM_FAILED)
+                });
+            if report.rejected > 0 {
+                eprintln!(
+                    "tlpsim: journal {jpath}: rejected {} record(s) from a different sweep",
+                    report.rejected
+                );
+            }
+            if let Some(at) = report.truncated_at {
+                eprintln!(
+                    "tlpsim: journal {jpath}: torn tail truncated at byte {at} (crash mid-append); the lost cell will be re-simulated"
+                );
+            }
+            run_sweep(journal, done, Path::new(&jpath));
         }
         Some("app") => {
             if args.len() < 4 {
